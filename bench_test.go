@@ -1,0 +1,377 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Wall-clock ns/op
+// measures this implementation; the custom metrics (sim-ms, conversion
+// calls, work units) are the simulated quantities that reproduce the
+// paper's numbers — EXPERIMENTS.md records paper-vs-measured per cell.
+package repro
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Table 1: one benchmark per machine pair and system.
+func BenchmarkTable1(b *testing.B) {
+	prog, err := core.Compile(exp.Mobile13Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pair := range exp.Table1Pairs() {
+		for _, mode := range []kernel.ConvMode{kernel.ModeOriginal, kernel.ModeEnhanced} {
+			if mode == kernel.ModeOriginal && pair.A.Family != pair.B.Family {
+				continue
+			}
+			name := fmt.Sprintf("%s/%s", sanitize(pair.Label), mode)
+			pair := pair
+			mode := mode
+			b.Run(name, func(b *testing.B) {
+				var simMS float64
+				var calls uint64
+				for i := 0; i < b.N; i++ {
+					cfg := kernel.DefaultConfig()
+					cfg.Mode = mode
+					cl, err := kernel.NewCluster(prog, []netsim.MachineModel{pair.A, pair.B}, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl.Start(nil)
+					if err := cl.Run(80_000_000); err != nil {
+						b.Fatal(err)
+					}
+					lines := cl.PrintedLines()
+					if len(lines) != 2 || lines[1] != "1624" {
+						b.Fatalf("workload corrupted: %v", lines)
+					}
+					elapsed, _ := strconv.Atoi(lines[0])
+					simMS = float64(elapsed) / 25
+					calls = cl.ConvStats().Calls
+				}
+				b.ReportMetric(simMS, "sim-ms/2moves")
+				b.ReportMetric(float64(calls), "conv-calls")
+			})
+		}
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "<->", "_")
+	return strings.ReplaceAll(s, "/", "-")
+}
+
+// Figure 2: the same program at each level of the specialization hierarchy.
+func BenchmarkFigure2(b *testing.B) {
+	info, prog, err := core.CompileInfo(exp.Fig2Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("source-interpreter", func(b *testing.B) {
+		var steps uint64
+		for i := 0; i < b.N; i++ {
+			s := interp.NewSource(info)
+			s.Run()
+			steps = s.RT().Steps
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	irProg := ir.Build(info)
+	b.Run("bytecode-interpreter", func(b *testing.B) {
+		var steps uint64
+		for i := 0; i < b.N; i++ {
+			bc := interp.NewBytecode(irProg)
+			bc.Run()
+			steps = bc.RT().Steps
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	for _, m := range []netsim.MachineModel{netsim.VAXstation2000, netsim.Sun3_100, netsim.SPARCstationSLC} {
+		m := m
+		b.Run("native-"+sanitize(m.Family), func(b *testing.B) {
+			var simMS float64
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				sys, err := core.NewSystem(prog, []netsim.MachineModel{m}, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				simMS = sys.ElapsedMS()
+				instrs = sys.Cluster.Nodes[0].Instrs
+			}
+			b.ReportMetric(simMS, "sim-ms")
+			b.ReportMetric(float64(instrs), "native-instrs")
+		})
+	}
+}
+
+// Figures 3+4: bridging-code synthesis for migration between differently
+// optimized codes.
+func BenchmarkFigure3Bridging(b *testing.B) {
+	abstract, code1, code2, _, _ := bridge.Figure3()
+	stop := code1.IndexOf("switch()") + 1
+	b.Run("synthesize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, err := bridge.Build(abstract, code1, stop, code2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(plan.Bridge) != 3 {
+				b.Fatalf("bridge = %v", plan.Bridge)
+			}
+		}
+	})
+	b.Run("synthesize-and-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, _ := bridge.Build(abstract, code1, stop, code2)
+			tr := bridge.RunWithMigration(code1, stop, plan)
+			if err := tr.ExactlyOnce(abstract); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// §3.6 intra-node invariant: local vs migrated execution speed.
+func BenchmarkIntraNode(b *testing.B) {
+	for _, m := range []netsim.MachineModel{netsim.VAXstation2000, netsim.SPARCstationSLC} {
+		m := m
+		b.Run(sanitize(m.Family), func(b *testing.B) {
+			var r *exp.IntraNodeResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = exp.IntraNode(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.EnhancedMatches {
+					b.Fatalf("invariant violated: %+v", r)
+				}
+			}
+			b.ReportMetric(r.LocalMS, "local-sim-ms")
+			b.ReportMetric(r.MigratedMS, "migrated-sim-ms")
+		})
+	}
+}
+
+// Conversion-routine ablation (§3.6: the paper guesses efficient routines
+// halve the penalty) and the homogeneous fast path ([SC88]).
+func BenchmarkConversionAblation(b *testing.B) {
+	prog, err := core.Compile(exp.Mobile13Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []kernel.ConvMode{
+		kernel.ModeOriginal, kernel.ModeEnhanced,
+		kernel.ModeEnhancedBatched, kernel.ModeEnhancedFastPath,
+	} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var simMS float64
+			var calls uint64
+			for i := 0; i < b.N; i++ {
+				cfg := kernel.DefaultConfig()
+				cfg.Mode = mode
+				cl, err := kernel.NewCluster(prog,
+					[]netsim.MachineModel{netsim.SPARCstationSLC, netsim.SPARCstationSLC}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl.Start(nil)
+				if err := cl.Run(80_000_000); err != nil {
+					b.Fatal(err)
+				}
+				elapsed, _ := strconv.Atoi(cl.PrintedLines()[0])
+				simMS = float64(elapsed) / 25
+				calls = cl.ConvStats().Calls
+			}
+			b.ReportMetric(simMS, "sim-ms/2moves")
+			b.ReportMetric(float64(calls), "conv-calls")
+		})
+	}
+}
+
+// Engineering micro-benchmarks of this implementation.
+
+func BenchmarkEmulatorStep(b *testing.B) {
+	for _, spec := range arch.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			mem := make([]byte, 4096)
+			var code []byte
+			var err error
+			emit := func(in arch.Instr) {
+				code, err = arch.Encode(spec, code, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{arch.Imm(100000), arch.Reg(1)}})
+			top := uint32(len(code))
+			emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{arch.Imm(1), arch.Reg(2)}})
+			emit(arch.Instr{Op: arch.OpSub, N: 3, Operands: [3]arch.Operand{arch.Reg(1), arch.Reg(2), arch.Reg(1)}})
+			emit(arch.Instr{Op: arch.OpBrnz, N: 1, Operands: [3]arch.Operand{arch.Reg(1)}, Target: uint16(top)})
+			emit(arch.Instr{Op: arch.OpRet})
+			b.ResetTimer()
+			instrs := 0
+			for i := 0; i < b.N; i++ {
+				cpu := arch.CPU{FP: 256, TempBase: 512}
+				tr, _, n, err := arch.Run(spec, &cpu, code, mem, 1<<30)
+				if err != nil || tr == nil || tr.Kind != arch.TrapRet {
+					b.Fatalf("%v %v", tr, err)
+				}
+				instrs += n
+			}
+			b.ReportMetric(float64(instrs)/float64(b.Elapsed().Seconds())/1e6, "emulated-MIPS")
+		})
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(exp.Mobile13Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireMoveRoundtrip(b *testing.B) {
+	// Marshal+unmarshal of a representative Move message (the enhanced
+	// system's biggest wire structure).
+	msg := &wire.Msg{Src: 0, Dst: 1, Seq: 42, Payload: &wire.Move{
+		Object: 100, CodeOID: 2,
+		Data: []wire.Value{wire.IntV(1), wire.RefV(7), wire.StringV([]byte("payload")), wire.RealBitsV(0x40490fdb)},
+		Frags: []wire.Fragment{{
+			FragID: 9, LinkNode: 0, LinkFrag: 3, Executing: true,
+			Acts: []wire.MIActivation{{
+				CodeOID: 2, FuncIndex: 1, Stop: 4,
+				Vars: []wire.Value{wire.IntV(1), wire.IntV(2), wire.RealBitsV(0x3f800000),
+					wire.IntV(4), wire.StringV([]byte("thirteen")), wire.IntV(6), wire.IntV(7),
+					wire.RealBitsV(0x41000000), wire.IntV(9), wire.IntV(10), wire.IntV(11),
+					wire.IntV(12), wire.IntV(13)},
+				Temps: []wire.Value{wire.IntV(5)},
+			}},
+		}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := msg.Marshal()
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConverters(b *testing.B) {
+	codec := arch.VAXFloat{}
+	for _, mk := range []struct {
+		name string
+		c    wire.Converter
+	}{
+		{"per-value", wire.NewCallConverter()},
+		{"batched", wire.NewBatchedConverter()},
+		{"raw", wire.NewRawConverter()},
+	} {
+		mk := mk
+		b.Run(mk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := mk.c.RealToWire(uint32(i), codec)
+				if _, err := mk.c.RealFromWire(v, codec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Full-pipeline throughput: compile + run the counter workload end to end
+// on one node of each architecture.
+func BenchmarkEndToEnd(b *testing.B) {
+	prog, err := core.Compile(exp.Fig2Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []netsim.MachineModel{netsim.VAXstation2000, netsim.SPARCstationSLC} {
+		m := m
+		b.Run(sanitize(m.Family), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := core.NewSystem(prog, []netsim.MachineModel{m}, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablations promised in DESIGN.md §6.
+
+func BenchmarkAblationBusStopDensity(b *testing.B) {
+	var r *exp.BusStopDensityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.BusStopDensity()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.WithPollsMS, "with-polls-sim-ms")
+	b.ReportMetric(r.WithoutPollsMS, "without-polls-sim-ms")
+	b.ReportMetric(r.OverheadPct, "poll-overhead-%")
+}
+
+func BenchmarkAblationRegisterHomes(b *testing.B) {
+	var rs []exp.RegisterHomesResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rs, err = exp.RegisterHomes()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		name := strings.Fields(r.Variant)[0]
+		b.ReportMetric(r.ComputeMS, name+"-compute-sim-ms")
+	}
+}
+
+func BenchmarkAblationHomogeneousFastPath(b *testing.B) {
+	// Alias of the fast-path row of BenchmarkConversionAblation, kept under
+	// the name DESIGN.md announces.
+	prog, err := core.Compile(exp.Mobile13Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simMS float64
+	for i := 0; i < b.N; i++ {
+		cfg := kernel.DefaultConfig()
+		cfg.Mode = kernel.ModeEnhancedFastPath
+		cl, err := kernel.NewCluster(prog,
+			[]netsim.MachineModel{netsim.SPARCstationSLC, netsim.SPARCstationSLC}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Start(nil)
+		if err := cl.Run(80_000_000); err != nil {
+			b.Fatal(err)
+		}
+		elapsed, _ := strconv.Atoi(cl.PrintedLines()[0])
+		simMS = float64(elapsed) / 25
+	}
+	b.ReportMetric(simMS, "sim-ms/2moves")
+}

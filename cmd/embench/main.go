@@ -1,0 +1,121 @@
+// Command embench regenerates the paper's evaluation: Table 1 (thread
+// mobility timings), Figure 2 (the thread-state specialization hierarchy),
+// Figures 3/4 (bridging code), the §3.6 intra-node performance invariant,
+// and the conversion-routine ablation.
+//
+// Usage:
+//
+//	embench [table1|fig1|fig2|fig3|intranode|conv|ablations|all]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/netsim"
+)
+
+func main() {
+	what := "all"
+	if len(os.Args) > 1 {
+		what = os.Args[1]
+	}
+	run := func(name string, f func() error) {
+		if what != "all" && what != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "embench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("fig1", figure1)
+	run("table1", table1)
+	run("fig2", figure2)
+	run("fig3", figure3)
+	run("intranode", intraNode)
+	run("conv", conv)
+	run("ablations", ablations)
+}
+
+func ablations() error {
+	bs, err := exp.BusStopDensity()
+	if err != nil {
+		return err
+	}
+	homes, err := exp.RegisterHomes()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatAblations(bs, homes))
+	return nil
+}
+
+func table1() error {
+	cells, err := exp.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatTable1(cells))
+	return nil
+}
+
+func figure1() error {
+	fmt.Println("Figure 1: a network of heterogeneous nodes")
+	for i, m := range core.Figure1Network() {
+		fmt.Printf("  node%d: %-18s (%s, %.1f effective MHz)\n", i, m.Name, archName(m), m.MHz)
+	}
+	fmt.Println("  connected by a shared 10 Mbit/s Ethernet")
+	return nil
+}
+
+func archName(m netsim.MachineModel) string {
+	return [...]string{"vax", "m68k", "sparc"}[m.Arch]
+}
+
+func figure2() error {
+	rows, err := exp.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatFigure2(rows))
+	return nil
+}
+
+func figure3() error {
+	s, err := exp.Figure34()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func intraNode() error {
+	fmt.Println("§3.6 intra-node performance invariant (compute phase, ms):")
+	fmt.Printf("%-20s %10s %10s %14s %6s\n", "machine", "local", "migrated", "original-sys", "ok")
+	for _, m := range []netsim.MachineModel{
+		netsim.VAXstation2000, netsim.Sun3_100, netsim.HP9000_433s, netsim.SPARCstationSLC,
+	} {
+		r, err := exp.IntraNode(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %10.1f %10.1f %14.1f %6v\n",
+			r.Arch, r.LocalMS, r.MigratedMS, r.OriginalSysMS, r.EnhancedMatches)
+	}
+	fmt.Println("migrated threads run at native speed, identical to the original system")
+	return nil
+}
+
+func conv() error {
+	rs, err := exp.ConversionStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatConversionStudy(rs))
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command emc is the Emerald-subset compiler driver: it compiles a source
+// file for every simulated architecture and can dump per-ISA assembly,
+// activation templates and bus-stop tables — the artifacts the runtime's
+// heterogeneous mobility depends on.
+//
+// Usage:
+//
+//	emc [-S] [-t] [-stops] [-arch vax|m68k|sparc] file.em
+//
+//	-S      print disassembly per architecture
+//	-t      print activation-record templates
+//	-stops  print bus-stop tables
+//	-arch   restrict output to one architecture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+func main() {
+	asm := flag.Bool("S", false, "print disassembly")
+	tmpl := flag.Bool("t", false, "print activation templates")
+	stops := flag.Bool("stops", false, "print bus-stop tables")
+	archName := flag.String("arch", "", "restrict to one architecture (vax, m68k, sparc)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emc [-S] [-t] [-stops] [-arch a] file.em")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emc:", err)
+		os.Exit(1)
+	}
+	prog, err := core.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emc:", err)
+		os.Exit(1)
+	}
+	var archs []arch.ID
+	if *archName == "" {
+		archs = arch.All()
+	} else {
+		found := false
+		for _, id := range arch.All() {
+			if id.String() == *archName {
+				archs = []arch.ID{id}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "emc: unknown architecture %q\n", *archName)
+			os.Exit(2)
+		}
+	}
+	for _, oc := range prog.Objects {
+		fmt.Printf("object %s (code %v)\n", oc.Name, oc.CodeOID)
+		if !*asm && !*tmpl && !*stops {
+			summarize(oc, archs)
+			continue
+		}
+		for _, id := range archs {
+			ac := oc.PerArch[id]
+			for _, fc := range ac.Funcs {
+				fmt.Printf("\n%s [%s] %d bytes, %d instrs, %d bus stops\n",
+					fc.Name, id, len(fc.Code), fc.NumInstrs, fc.Stops.Len())
+				if *asm {
+					fmt.Print(arch.Disassemble(arch.SpecOf(id), fc.Code))
+				}
+				if *tmpl {
+					printTemplate(fc)
+				}
+				if *stops {
+					printStops(fc)
+				}
+			}
+		}
+	}
+}
+
+func summarize(oc *codegen.ObjectCode, archs []arch.ID) {
+	for _, fc := range oc.PerArch[archs[0]].Funcs {
+		fmt.Printf("  %-30s", fc.Name)
+		for _, id := range archs {
+			f := oc.PerArch[id].Funcs[oc.FuncIndex(fc.OpName)]
+			fmt.Printf("  %s:%4dB/%3di", id, len(f.Code), f.NumInstrs)
+		}
+		fmt.Printf("  stops:%d\n", fc.Stops.Len())
+	}
+}
+
+func printTemplate(fc *codegen.FuncCode) {
+	t := fc.Template
+	fmt.Printf("  template: size=%d savedFP@%d retDesc@%d retPC@%d self@%d temps@%d+%d\n",
+		t.Size, t.SavedFPOff, t.RetDescOff, t.RetPCOff, t.SelfOff, t.TempOff, t.TempSlots)
+	fmt.Printf("  saved regs: %v\n", t.SavedRegs)
+	for i, h := range t.Vars {
+		fmt.Printf("    var %2d %s\n", i, h)
+	}
+}
+
+func printStops(fc *codegen.FuncCode) {
+	for _, s := range fc.Stops.All() {
+		exit := ""
+		if s.ExitOnly {
+			exit = " exit-only"
+		}
+		push := ""
+		if s.Pushes {
+			push = fmt.Sprintf(" pushes %s", s.ResultKind)
+		}
+		fmt.Printf("  stop %2d @pc=%-5d %-8s temps=%d%s%s\n",
+			s.Stop, s.PC, s.Kind, s.TempDepth, push, exit)
+	}
+}

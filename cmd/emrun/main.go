@@ -1,0 +1,109 @@
+// Command emrun compiles an Emerald-subset program and runs it on a
+// simulated network of heterogeneous workstations.
+//
+// Usage:
+//
+//	emrun [-net spec] [-mode enhanced|original|batched|fastpath]
+//	      [-trace] [-stats] file.em
+//
+// The network spec is a comma-separated list of machine models, e.g.
+// "sparc,vax,sun3,hp1,hp2" (default: the paper's Figure 1 network
+// sun3,hp1,sparc,vax).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+)
+
+var machineSpecs = map[string]netsim.MachineModel{
+	"sparc": netsim.SPARCstationSLC,
+	"sun3":  netsim.Sun3_100,
+	"hp1":   netsim.HP9000_433s,
+	"hp2":   netsim.HP9000_385,
+	"vax":   netsim.VAXstation2000,
+}
+
+func main() {
+	netSpec := flag.String("net", "sun3,hp1,sparc,vax", "comma-separated machine list")
+	mode := flag.String("mode", "enhanced", "conversion mode: enhanced, original, batched, fastpath")
+	trace := flag.Bool("trace", false, "print kernel event trace")
+	stats := flag.Bool("stats", false, "print per-node statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-trace] [-stats] file.em")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", err)
+		os.Exit(1)
+	}
+	var machines []netsim.MachineModel
+	for _, name := range strings.Split(*netSpec, ",") {
+		m, ok := machineSpecs[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "emrun: unknown machine %q (have sparc, sun3, hp1, hp2, vax)\n", name)
+			os.Exit(2)
+		}
+		machines = append(machines, m)
+	}
+	var cm kernel.ConvMode
+	switch *mode {
+	case "enhanced":
+		cm = kernel.ModeEnhanced
+	case "original":
+		cm = kernel.ModeOriginal
+	case "batched":
+		cm = kernel.ModeEnhancedBatched
+	case "fastpath":
+		cm = kernel.ModeEnhancedFastPath
+	default:
+		fmt.Fprintf(os.Stderr, "emrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	opts := core.Options{Mode: cm}
+	if *trace {
+		opts.Trace = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	prog, err := core.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", err)
+		os.Exit(1)
+	}
+	sys, err := core.NewSystem(prog, machines, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", err)
+		os.Exit(1)
+	}
+	runErr := sys.Run()
+	for _, line := range sys.Lines() {
+		fmt.Println(line)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\nsimulated time: %.1f ms\n", sys.ElapsedMS())
+		for _, n := range sys.Cluster.Nodes {
+			fmt.Fprintf(os.Stderr, "node%d %-18s [%s] instrs=%d msgs=%d/%d migrations=%d\n",
+				n.ID, n.Model.Name, n.Spec.Name, n.Instrs, n.MsgsSent, n.MsgsRecv, n.Migrations)
+		}
+		st := sys.Cluster.ConvStats()
+		fmt.Fprintf(os.Stderr, "conversion calls=%d values=%d wire payload=%d bytes\n",
+			st.Calls, st.Values, sys.Cluster.Net.PayloadLen)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", runErr)
+		os.Exit(1)
+	}
+	if blocked := sys.Cluster.BlockedThreads(); len(blocked) > 0 {
+		fmt.Fprintln(os.Stderr, "emrun: blocked threads at exit:")
+		for _, b := range blocked {
+			fmt.Fprintln(os.Stderr, "  ", b)
+		}
+	}
+}

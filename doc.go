@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Object and Native
+// Code Thread Mobility Among Heterogeneous Computers" (Steensgaard & Jul,
+// SOSP 1995): the Emerald system extended with heterogeneous native-code
+// thread migration via bus stops.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the measured
+// reproduction of every table and figure. The benchmark harness in
+// bench_test.go regenerates the paper's evaluation; `go run ./cmd/embench`
+// prints it.
+package repro

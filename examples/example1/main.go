@@ -1,0 +1,72 @@
+// Example 1 from the paper (§1): "Consider an object X residing on node A
+// invoking an operation in an object Y residing on node B, the effect of
+// the operation being that X is moved to node C. A remote procedure call is
+// performed to invoke the operation in Y. When the thread returns from
+// executing the operation in Y, execution has to resume on node C where X
+// is now residing. The system has to move part of the call stack of the
+// existing thread from node A to node C."
+//
+// Nodes A, B and C run different architectures here, so the moved part of
+// the call stack is additionally converted between machine-dependent
+// formats on the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+const program = `
+object Y
+  operation relocate(x: Any, dest: Node)
+    print("  Y (on ", thisnode(), "): moving the caller to ", dest)
+    move x to dest
+  end
+end Y
+
+object X
+  var y: Y
+  operation go() -> (r: String)
+    var a: Node <- thisnode()
+    y.relocate(self, node(2))
+    // The invocation of Y has returned -- on node C, not node A.
+    r <- "X started on " + str(a) + ", resumed on " + str(thisnode())
+  end
+end X
+
+object Main
+  process
+    var y: Y <- new Y
+    move y to node(1)
+    var x: X <- new X(y)
+    print("node A = ", node(0), ", node B = ", node(1), ", node C = ", node(2))
+    print(x.go())
+    print("X now resides on ", locate(x))
+  end process
+end Main
+`
+
+func main() {
+	prog, err := core.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machines := []netsim.MachineModel{
+		netsim.VAXstation2000,  // node A
+		netsim.Sun3_100,        // node B
+		netsim.SPARCstationSLC, // node C
+	}
+	sys, err := core.NewSystem(prog, machines, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range sys.Lines() {
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,89 @@
+// Load balancing with mobility: a coordinator creates worker objects on
+// the fastest node, then spreads them across the heterogeneous network
+// with `move`; workers compute where they land (at full native speed for
+// whatever architecture they landed on) and report back through ordinary
+// invocations — which the runtime turns into cross-architecture RPC. The
+// coordinator pins itself with `fix` so the results always come home.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+const program = `
+object Worker
+  var id: Int
+  var done: Bool <- false
+  var result: Int <- 0
+  operation compute(n: Int)
+    var i: Int <- 0
+    var acc: Int <- 0
+    while i < n do
+      acc <- acc + (i * i) % 97
+      i <- i + 1
+    end
+    result <- acc
+    done <- true
+  end
+  function report() -> (r: String)
+    r <- "worker " + str(id) + " on " + str(locate(self)) + " -> " + str(result)
+  end
+  function isdone() -> (r: Bool)
+    r <- done
+  end
+end Worker
+
+object Main
+  process
+    fix self at node(0)
+    var nworkers: Int <- nodes()
+    var ws: Array[Worker] <- new Array[Worker](nworkers)
+    var i: Int <- 0
+    while i < nworkers do
+      var w: Worker <- new Worker(i)
+      move w to node(i)
+      ws[i] <- w
+      i <- i + 1
+    end
+    // Kick off the computations (each runs remotely, at native speed).
+    i <- 0
+    while i < nworkers do
+      ws[i].compute(2000 + i * 500)
+      i <- i + 1
+    end
+    i <- 0
+    while i < nworkers do
+      print(ws[i].report())
+      i <- i + 1
+    end
+    print("all ", nworkers, " workers done at ", timems(), " ms")
+  end process
+end Main
+`
+
+func main() {
+	prog, err := core.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machines := []netsim.MachineModel{
+		netsim.SPARCstationSLC,
+		netsim.Sun3_100,
+		netsim.HP9000_433s,
+		netsim.VAXstation2000,
+	}
+	sys, err := core.NewSystem(prog, machines, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range sys.Lines() {
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,21 @@
+// The classic Emerald mobility demo: run with
+//   go run ./cmd/emrun -net sparc,vax,sun3,hp1 examples/programs/kilroy.em
+object Kilroy
+  operation tour() -> (r: String)
+    r <- "Kilroy was here:"
+    var i: Int <- 0
+    while i < nodes() do
+      move self to node(i)
+      r <- r + " " + str(thisnode())
+      i <- i + 1
+    end
+    move self to node(0)
+  end
+end Kilroy
+
+object Main
+  process
+    var k: Kilroy <- new Kilroy
+    print(k.tour())
+  end process
+end Main

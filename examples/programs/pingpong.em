@@ -1,0 +1,24 @@
+// Table 1's shape as a user program: a thread ping-pongs between two
+// heterogeneous machines and reports the cost per round trip. Run with
+//   go run ./cmd/emrun -net sparc,vax examples/programs/pingpong.em
+object Ball
+  operation rally(trips: Int) -> (r: Int)
+    var home: Node <- thisnode()
+    var t0: Int <- timems()
+    var i: Int <- 0
+    while i < trips do
+      move self to node(1)
+      move self to node(0)
+      i <- i + 1
+    end
+    var t1: Int <- timems()
+    r <- (t1 - t0) / trips
+  end
+end Ball
+
+object Main
+  process
+    var b: Ball <- new Ball
+    print("ms per round trip (two thread moves): ", b.rally(20))
+  end process
+end Main

@@ -1,0 +1,65 @@
+// A monitored bounded buffer with producer/consumer threads; the buffer
+// migrates mid-run, taking its waiting threads along. Run with
+//   go run ./cmd/emrun -net sun3,sparc examples/programs/producer_consumer.em
+object Buffer
+  monitor
+    var slots: Array[Int]
+    var head: Int <- 0
+    var count: Int <- 0
+    var nonempty: Condition
+    var nonfull: Condition
+    operation put(v: Int)
+      while count == 4 do
+        wait nonfull
+      end
+      slots[(head + count) % 4] <- v
+      count <- count + 1
+      signal nonempty
+    end
+    operation take() -> (r: Int)
+      while count == 0 do
+        wait nonempty
+      end
+      r <- slots[head]
+      head <- (head + 1) % 4
+      count <- count - 1
+      signal nonfull
+    end
+  end monitor
+  initially
+    slots <- new Array[Int](4)
+  end initially
+end Buffer
+
+object Producer
+  var buf: Buffer
+  var n: Int
+  process
+    var i: Int <- 1
+    while i <= n do
+      buf.put(i * i)
+      i <- i + 1
+    end
+  end process
+end Producer
+
+object Main
+  var buf: Buffer
+  initially
+    buf <- new Buffer
+  end initially
+  process
+    var p: Producer <- new Producer(buf, 10)
+    var sum: Int <- 0
+    var i: Int <- 0
+    while i < 10 do
+      sum <- sum + buf.take()
+      if i == 4 then
+        move buf to node(1)   // waiters and monitor state migrate too
+      end
+      i <- i + 1
+    end
+    print("sum of squares 1..10 = ", sum, " (buffer ended on ", locate(buf), ")")
+    print(p == nil)
+  end process
+end Main

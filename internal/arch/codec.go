@@ -1,0 +1,400 @@
+// Instruction encoding and decoding.
+//
+// Two encoding families are implemented. The CISC family (VAX-like, M68K-
+// like) uses self-describing variable-length instructions: an opcode (one
+// byte on the VAX, a two-byte word on the M68K), an optional condition
+// byte, then per-operand mode bytes with mode-dependent payloads. The RISC
+// family (SPARC-like) uses fixed 4-byte big-endian words, register-only ALU
+// operations and single-memory-operand moves; immediates and kernel traps
+// occupy two words.
+//
+// The same abstract program therefore has different instruction lengths —
+// and different program-counter values for the same program point — on
+// every architecture, which is precisely the problem bus stops solve.
+
+package arch
+
+import "fmt"
+
+// Encode appends the encoding of in to code and returns the extended slice.
+// It fails if the instruction is not representable on the architecture.
+func Encode(s *Spec, code []byte, in Instr) ([]byte, error) {
+	ops := in.Operands[:in.N]
+	if err := s.Supports(in.Op, ops); err != nil {
+		return nil, err
+	}
+	if in.Op == OpUnlq && !s.HasAtomicUnlink {
+		return nil, fmt.Errorf("%s: no atomic unlink instruction", s.Name)
+	}
+	if s.Style == EncFixedRISC {
+		return encodeRISC(s, code, in)
+	}
+	return encodeCISC(s, code, in)
+}
+
+// cisc opcode size: the M68K uses 2-byte opcodes (distinguished by NumRegs
+// trick would be fragile; use a dedicated spec knob).
+func opcodeSize(s *Spec) int {
+	if s.ID == M68K {
+		return 2
+	}
+	return 1
+}
+
+func put16(s *Spec, code []byte, v uint16) []byte {
+	var b [2]byte
+	s.ByteOrd.PutUint16(b[:], v)
+	return append(code, b[:]...)
+}
+
+func put32(s *Spec, code []byte, v uint32) []byte {
+	var b [4]byte
+	s.ByteOrd.PutUint32(b[:], v)
+	return append(code, b[:]...)
+}
+
+func encodeCISC(s *Spec, code []byte, in Instr) ([]byte, error) {
+	oc := s.opcodeByte(in.Op)
+	if opcodeSize(s) == 2 {
+		// M68K-style: opcode byte plus its complement as a check byte.
+		code = append(code, oc, ^oc)
+	} else {
+		code = append(code, oc)
+	}
+	sh := shapes[in.Op]
+	if sh.hasCC {
+		code = append(code, in.CC)
+	}
+	if in.Op == OpTrap {
+		code = append(code, byte(in.TrapKind))
+		code = put16(s, code, in.TrapA)
+		code = put16(s, code, in.TrapB)
+		return code, nil
+	}
+	for k := 0; k < int(in.N); k++ {
+		o := in.Operands[k]
+		code = append(code, byte(o.Mode))
+		switch o.Mode {
+		case ModeImm:
+			code = put32(s, code, o.Imm)
+		case ModeReg:
+			code = append(code, o.Reg)
+		case ModeFrame, ModeSelf, ModeLit:
+			code = put16(s, code, o.Disp)
+		case ModePop, ModePush:
+			// no payload
+		default:
+			return nil, fmt.Errorf("%s: cannot encode operand mode %v", s.Name, o.Mode)
+		}
+	}
+	if sh.hasTarget {
+		code = put16(s, code, in.Target)
+	}
+	return code, nil
+}
+
+// RISC mov sub-modes (see decode): the single register operand is packed
+// with the sub-mode in byte 1; payload goes in bytes 2..3.
+const (
+	rmRegReg = iota // dst <- src reg (payload low byte)
+	rmImm           // dst <- imm (next word)
+	rmLdFrame
+	rmLdSelf
+	rmLdLit
+	rmLdPop
+	rmStFrame // frame <- reg
+	rmStSelf
+	rmStPush
+)
+
+func encodeRISC(s *Spec, code []byte, in Instr) ([]byte, error) {
+	oc := s.opcodeByte(in.Op)
+	w := []byte{oc, 0, 0, 0}
+	checkReg := func(r byte) error {
+		if r > 15 {
+			return fmt.Errorf("%s: register %d out of range", s.Name, r)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpMov:
+		src, dst := in.Operands[0], in.Operands[1]
+		var sub byte
+		var reg byte
+		var payload uint16
+		var imm *uint32
+		switch {
+		case src.Mode == ModeReg && dst.Mode == ModeReg:
+			sub, reg, payload = rmRegReg, dst.Reg, uint16(src.Reg)
+		case src.Mode == ModeImm && dst.Mode == ModeReg:
+			sub, reg = rmImm, dst.Reg
+			v := src.Imm
+			imm = &v
+		case src.Mode == ModeFrame && dst.Mode == ModeReg:
+			sub, reg, payload = rmLdFrame, dst.Reg, src.Disp
+		case src.Mode == ModeSelf && dst.Mode == ModeReg:
+			sub, reg, payload = rmLdSelf, dst.Reg, src.Disp
+		case src.Mode == ModeLit && dst.Mode == ModeReg:
+			sub, reg, payload = rmLdLit, dst.Reg, src.Disp
+		case src.Mode == ModePop && dst.Mode == ModeReg:
+			sub, reg = rmLdPop, dst.Reg
+		case src.Mode == ModeReg && dst.Mode == ModeFrame:
+			sub, reg, payload = rmStFrame, src.Reg, dst.Disp
+		case src.Mode == ModeReg && dst.Mode == ModeSelf:
+			sub, reg, payload = rmStSelf, src.Reg, dst.Disp
+		case src.Mode == ModeReg && dst.Mode == ModePush:
+			sub, reg = rmStPush, src.Reg
+		default:
+			return nil, fmt.Errorf("%s: unencodable mov %v -> %v", s.Name, src.Mode, dst.Mode)
+		}
+		if err := checkReg(reg); err != nil {
+			return nil, err
+		}
+		w[1] = sub<<4 | reg
+		w[2] = byte(payload >> 8)
+		w[3] = byte(payload)
+		code = append(code, w...)
+		if imm != nil {
+			code = put32(s, code, *imm)
+		}
+		return code, nil
+	case OpJmp:
+		w[2], w[3] = byte(in.Target>>8), byte(in.Target)
+		return append(code, w...), nil
+	case OpBrz, OpBrnz:
+		if err := checkReg(in.Operands[0].Reg); err != nil {
+			return nil, err
+		}
+		w[1] = in.Operands[0].Reg
+		w[2], w[3] = byte(in.Target>>8), byte(in.Target)
+		return append(code, w...), nil
+	case OpPoll, OpRet:
+		return append(code, w...), nil
+	case OpTrap:
+		w[1] = byte(in.TrapKind)
+		w[2], w[3] = byte(in.TrapA>>8), byte(in.TrapA)
+		code = append(code, w...)
+		return append(code, byte(in.TrapB>>8), byte(in.TrapB), 0, 0), nil
+	}
+	// Register-form ALU and millicode ops: pack up to three registers; the
+	// condition code shares byte 1's high nibble.
+	sh := shapes[in.Op]
+	for k := 0; k < int(in.N); k++ {
+		if in.Operands[k].Mode != ModeReg {
+			return nil, fmt.Errorf("%s: %v requires register operands", s.Name, in.Op)
+		}
+		if err := checkReg(in.Operands[k].Reg); err != nil {
+			return nil, err
+		}
+		w[1+k] = in.Operands[k].Reg
+	}
+	if sh.hasCC {
+		w[1] |= in.CC << 4
+	}
+	return append(code, w...), nil
+}
+
+// Decode decodes the instruction at pc. The returned instruction's Size
+// field gives its encoded length.
+func Decode(s *Spec, code []byte, pc uint32) (Instr, error) {
+	if int(pc) >= len(code) {
+		return Instr{}, fmt.Errorf("%s: pc %#x outside code of %d bytes", s.Name, pc, len(code))
+	}
+	if s.Style == EncFixedRISC {
+		return decodeRISC(s, code, pc)
+	}
+	return decodeCISC(s, code, pc)
+}
+
+func decodeCISC(s *Spec, code []byte, pc uint32) (Instr, error) {
+	p := pc
+	need := func(n uint32) error {
+		if int(p+n) > len(code) {
+			return fmt.Errorf("%s: truncated instruction at %#x", s.Name, pc)
+		}
+		return nil
+	}
+	osz := uint32(opcodeSize(s))
+	if err := need(osz); err != nil {
+		return Instr{}, err
+	}
+	op, err := s.opFromByte(code[p])
+	if err != nil {
+		return Instr{}, fmt.Errorf("pc %#x: %w", pc, err)
+	}
+	if osz == 2 && code[p+1] != ^code[p] {
+		return Instr{}, fmt.Errorf("%s: bad opcode check byte at %#x", s.Name, pc)
+	}
+	p += osz
+	in := Instr{Op: op}
+	sh := shapes[op]
+	if sh.hasCC {
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		in.CC = code[p]
+		p++
+	}
+	if op == OpTrap {
+		if err := need(5); err != nil {
+			return Instr{}, err
+		}
+		in.TrapKind = TrapKind(code[p])
+		in.TrapA = s.ByteOrd.Uint16(code[p+1 : p+3])
+		in.TrapB = s.ByteOrd.Uint16(code[p+3 : p+5])
+		p += 5
+		in.Size = p - pc
+		return in, nil
+	}
+	in.N = byte(sh.nOperands)
+	for k := 0; k < sh.nOperands; k++ {
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		m := Mode(code[p])
+		p++
+		o := Operand{Mode: m}
+		switch m {
+		case ModeImm:
+			if err := need(4); err != nil {
+				return Instr{}, err
+			}
+			o.Imm = s.ByteOrd.Uint32(code[p : p+4])
+			p += 4
+		case ModeReg:
+			if err := need(1); err != nil {
+				return Instr{}, err
+			}
+			o.Reg = code[p]
+			p++
+		case ModeFrame, ModeSelf, ModeLit:
+			if err := need(2); err != nil {
+				return Instr{}, err
+			}
+			o.Disp = s.ByteOrd.Uint16(code[p : p+2])
+			p += 2
+		case ModePop, ModePush:
+		default:
+			return Instr{}, fmt.Errorf("%s: bad operand mode %d at %#x", s.Name, m, pc)
+		}
+		in.Operands[k] = o
+	}
+	if sh.hasTarget {
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		in.Target = s.ByteOrd.Uint16(code[p : p+2])
+		p += 2
+	}
+	in.Size = p - pc
+	return in, nil
+}
+
+func decodeRISC(s *Spec, code []byte, pc uint32) (Instr, error) {
+	if int(pc)+4 > len(code) {
+		return Instr{}, fmt.Errorf("%s: truncated word at %#x", s.Name, pc)
+	}
+	w := code[pc : pc+4]
+	op, err := s.opFromByte(w[0])
+	if err != nil {
+		return Instr{}, fmt.Errorf("pc %#x: %w", pc, err)
+	}
+	in := Instr{Op: op, Size: 4}
+	switch op {
+	case OpMov:
+		sub := w[1] >> 4
+		reg := w[1] & 0xf
+		payload := uint16(w[2])<<8 | uint16(w[3])
+		switch sub {
+		case rmRegReg:
+			in.Operands[0] = Reg(byte(payload))
+			in.Operands[1] = Reg(reg)
+		case rmImm:
+			if int(pc)+8 > len(code) {
+				return Instr{}, fmt.Errorf("%s: truncated immediate at %#x", s.Name, pc)
+			}
+			in.Operands[0] = Imm(s.ByteOrd.Uint32(code[pc+4 : pc+8]))
+			in.Operands[1] = Reg(reg)
+			in.Size = 8
+		case rmLdFrame:
+			in.Operands[0] = Frame(payload)
+			in.Operands[1] = Reg(reg)
+		case rmLdSelf:
+			in.Operands[0] = SelfOp(payload)
+			in.Operands[1] = Reg(reg)
+		case rmLdLit:
+			in.Operands[0] = Lit(payload)
+			in.Operands[1] = Reg(reg)
+		case rmLdPop:
+			in.Operands[0] = Pop()
+			in.Operands[1] = Reg(reg)
+		case rmStFrame:
+			in.Operands[0] = Reg(reg)
+			in.Operands[1] = Frame(payload)
+		case rmStSelf:
+			in.Operands[0] = Reg(reg)
+			in.Operands[1] = SelfOp(payload)
+		case rmStPush:
+			in.Operands[0] = Reg(reg)
+			in.Operands[1] = Push()
+		default:
+			return Instr{}, fmt.Errorf("%s: bad mov sub-mode %d at %#x", s.Name, sub, pc)
+		}
+		in.N = 2
+		return in, nil
+	case OpJmp:
+		in.Target = uint16(w[2])<<8 | uint16(w[3])
+		return in, nil
+	case OpBrz, OpBrnz:
+		in.Operands[0] = Reg(w[1])
+		in.N = 1
+		in.Target = uint16(w[2])<<8 | uint16(w[3])
+		return in, nil
+	case OpPoll, OpRet:
+		return in, nil
+	case OpTrap:
+		if int(pc)+8 > len(code) {
+			return Instr{}, fmt.Errorf("%s: truncated trap at %#x", s.Name, pc)
+		}
+		in.TrapKind = TrapKind(w[1])
+		in.TrapA = uint16(w[2])<<8 | uint16(w[3])
+		in.TrapB = uint16(code[pc+4])<<8 | uint16(code[pc+5])
+		in.Size = 8
+		return in, nil
+	}
+	sh := shapes[op]
+	in.N = byte(sh.nOperands)
+	for k := 0; k < sh.nOperands; k++ {
+		r := w[1+k]
+		if k == 0 && sh.hasCC {
+			in.CC = r >> 4
+			r &= 0xf
+		}
+		in.Operands[k] = Reg(r)
+	}
+	return in, nil
+}
+
+// PatchTarget rewrites the branch target of the instruction starting at
+// instrStart. Encoded instruction length is unchanged.
+func PatchTarget(s *Spec, code []byte, instrStart uint32, target uint16) error {
+	in, err := Decode(s, code, instrStart)
+	if err != nil {
+		return err
+	}
+	if !shapes[in.Op].hasTarget {
+		return fmt.Errorf("%s: instruction %v has no target", s.Name, in.Op)
+	}
+	if s.Style == EncFixedRISC {
+		code[instrStart+2] = byte(target >> 8)
+		code[instrStart+3] = byte(target)
+		return nil
+	}
+	// CISC: the target is the final two bytes of the instruction.
+	off := instrStart + in.Size - 2
+	var b [2]byte
+	s.ByteOrd.PutUint16(b[:], target)
+	code[off] = b[0]
+	code[off+1] = b[1]
+	return nil
+}

@@ -1,0 +1,98 @@
+// Floating point formats. Reals are 32-bit values stored in registers and
+// memory slots in the architecture's own format; the wire format is IEEE
+// 754 (the "network format" for reals), so VAX values are converted on
+// every migration — one of the data-format conversions the paper's
+// marshaller performs.
+
+package arch
+
+import "math"
+
+// FloatCodec converts between a float value and its 32-bit machine
+// representation.
+type FloatCodec interface {
+	Enc(float32) uint32
+	Dec(uint32) float32
+	Name() string
+}
+
+// IEEEFloat is standard IEEE 754 binary32 (M68K, SPARC).
+type IEEEFloat struct{}
+
+// Name returns "ieee754".
+func (IEEEFloat) Name() string { return "ieee754" }
+
+// Enc encodes v.
+func (IEEEFloat) Enc(v float32) uint32 { return math.Float32bits(v) }
+
+// Dec decodes bits.
+func (IEEEFloat) Dec(bits uint32) float32 { return math.Float32frombits(bits) }
+
+// VAXFloat is the VAX F-float format: sign bit, 8-bit excess-128 exponent,
+// 23-bit fraction with a hidden 0.1₂ leading bit — so the represented value
+// is (-1)^s · 0.1f₂ · 2^(e-128) — stored with the PDP-11 word order (the
+// two 16-bit halves of the word swapped relative to little-endian order).
+// A zero exponent with a zero sign is the value zero; we saturate values
+// outside the representable range.
+type VAXFloat struct{}
+
+// Name returns "vaxf".
+func (VAXFloat) Name() string { return "vaxf" }
+
+// Enc encodes v as VAX F-float bits.
+func (VAXFloat) Enc(v float32) uint32 {
+	ieee := math.Float32bits(v)
+	sign := ieee >> 31
+	exp := int32((ieee >> 23) & 0xff)
+	frac := ieee & 0x7fffff
+	var out uint32
+	switch {
+	case exp == 0:
+		// Zero and IEEE denormals: VAX F has no denormals; flush to zero.
+		out = 0
+		sign = 0
+	case exp == 0xff:
+		// Inf/NaN: VAX F has neither; saturate to the largest magnitude.
+		out = sign<<31 | 0xff<<23 | 0x7fffff
+	default:
+		// IEEE value = 1.f · 2^(e-127); VAX value = 0.1f · 2^(E-128),
+		// so E = e - 127 + 1 + 128 - 128 ... concretely E = e + 2 - 128 + 128
+		// reduces to E = e + 2 when both biases are accounted for:
+		// 1.f·2^(e-127) = 0.1f·2^(e-126) and VAX exponent field E satisfies
+		// value = 0.1f·2^(E-128), hence E = e + 2.
+		ve := exp + 2
+		if ve >= 0xff {
+			out = sign<<31 | 0xff<<23 | 0x7fffff
+		} else if ve <= 0 {
+			out = 0
+			sign = 0
+		} else {
+			out = sign<<31 | uint32(ve)<<23 | frac
+		}
+	}
+	return wordSwap(out)
+}
+
+// Dec decodes VAX F-float bits.
+func (VAXFloat) Dec(bits uint32) float32 {
+	b := wordSwap(bits)
+	sign := b >> 31
+	ve := int32((b >> 23) & 0xff)
+	frac := b & 0x7fffff
+	if ve == 0 {
+		if sign == 0 {
+			return 0
+		}
+		// Sign=1, exp=0 is a VAX "reserved operand"; treat as zero.
+		return 0
+	}
+	e := ve - 2
+	if e <= 0 {
+		return 0
+	}
+	ieee := sign<<31 | uint32(e)<<23 | frac
+	return math.Float32frombits(ieee)
+}
+
+// wordSwap exchanges the 16-bit halves of a word (PDP word order).
+func wordSwap(v uint32) uint32 { return v<<16 | v>>16 }

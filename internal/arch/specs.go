@@ -1,0 +1,108 @@
+// The three concrete architecture specifications.
+
+package arch
+
+import "encoding/binary"
+
+// VAXSpec is the VAX-like CISC: little endian, VAX F-float, variable-length
+// memory-to-memory instructions, a one-byte opcode, four callee-saved
+// variable-home registers (r6–r9), and the atomic UNLINKQ used for monitor
+// exit. Cycle costs reflect a microcoded implementation.
+var VAXSpec = &Spec{
+	ID:              VAX,
+	Name:            "vax",
+	ByteOrd:         binary.LittleEndian,
+	Style:           EncVariableCISC,
+	NumRegs:         16,
+	HomeRegs:        []byte{6, 7, 8, 9},
+	ScratchRegs:     []byte{0, 1, 2},
+	OpcodeBase:      0x83,
+	OpcodeMul:       7,
+	Float:           VAXFloat{},
+	HasAtomicUnlink: true,
+	MemCycles:       2,
+	TrapCycles:      24,
+	Cycles: [NumOp]uint32{
+		OpMov: 4, OpAdd: 5, OpSub: 5, OpMul: 14, OpDiv: 24, OpMod: 26,
+		OpNeg: 4, OpAbs: 4, OpNot: 4, OpAnd: 5, OpOr: 5,
+		OpFAdd: 12, OpFSub: 12, OpFMul: 18, OpFDiv: 30, OpFNeg: 6, OpCvt: 10,
+		OpScc: 6, OpFScc: 12, OpSScc: 16,
+		OpJmp: 4, OpBrz: 4, OpBrnz: 4,
+		OpALoad: 8, OpAStor: 8, OpALen: 5, OpSLen: 5, OpSIdx: 8,
+		OpPoll: 2, OpRet: 4, OpTrap: 4, OpUnlq: 10,
+	},
+}
+
+// M68KSpec is the Motorola-68K-like CISC shared by the Sun-3 and HP9000/300
+// machine models: big endian, IEEE floats, two-byte opcodes, six variable
+// homes (d2–d7). No atomic unlink — monitor exit is a system call.
+var M68KSpec = &Spec{
+	ID:          M68K,
+	Name:        "m68k",
+	ByteOrd:     binary.BigEndian,
+	Style:       EncVariableCISC,
+	NumRegs:     16,
+	HomeRegs:    []byte{2, 3, 4, 5, 6, 7},
+	ScratchRegs: []byte{0, 1},
+	OpcodeBase:  0x2a,
+	OpcodeMul:   11,
+	Float:       IEEEFloat{},
+	MemCycles:   2,
+	TrapCycles:  20,
+	Cycles: [NumOp]uint32{
+		OpMov: 3, OpAdd: 4, OpSub: 4, OpMul: 11, OpDiv: 20, OpMod: 22,
+		OpNeg: 3, OpAbs: 3, OpNot: 3, OpAnd: 4, OpOr: 4,
+		OpFAdd: 10, OpFSub: 10, OpFMul: 14, OpFDiv: 24, OpFNeg: 5, OpCvt: 8,
+		OpScc: 5, OpFScc: 10, OpSScc: 14,
+		OpJmp: 3, OpBrz: 3, OpBrnz: 3,
+		OpALoad: 7, OpAStor: 7, OpALen: 4, OpSLen: 4, OpSIdx: 7,
+		OpPoll: 2, OpRet: 3, OpTrap: 4, OpUnlq: 0,
+	},
+}
+
+// SPARCSpec is the SPARC-like RISC: big endian, IEEE floats, fixed 4-byte
+// instructions (8 for immediates and traps), register-only ALU operations
+// with load/store moves, and eight variable homes (l0–l7 = r8–r15).
+// Abstract operations that are single instructions on the CISC machines
+// expand into several instructions here ("RISCification", §2.2.2).
+var SPARCSpec = &Spec{
+	ID:          SPARC,
+	Name:        "sparc",
+	ByteOrd:     binary.BigEndian,
+	Style:       EncFixedRISC,
+	NumRegs:     16,
+	HomeRegs:    []byte{8, 9, 10, 11, 12, 13, 14, 15},
+	ScratchRegs: []byte{1, 2, 3},
+	OpcodeBase:  0x45,
+	OpcodeMul:   13,
+	Float:       IEEEFloat{},
+	MemCycles:   1,
+	TrapCycles:  14,
+	Cycles: [NumOp]uint32{
+		OpMov: 1, OpAdd: 1, OpSub: 1, OpMul: 5, OpDiv: 18, OpMod: 20,
+		OpNeg: 1, OpAbs: 1, OpNot: 1, OpAnd: 1, OpOr: 1,
+		OpFAdd: 4, OpFSub: 4, OpFMul: 6, OpFDiv: 14, OpFNeg: 2, OpCvt: 4,
+		OpScc: 2, OpFScc: 4,
+		// Millicode helpers (array/string forms) cost a short call.
+		OpSScc: 22,
+		OpJmp:  1, OpBrz: 1, OpBrnz: 1,
+		OpALoad: 12, OpAStor: 12, OpALen: 6, OpSLen: 6, OpSIdx: 12,
+		OpPoll: 1, OpRet: 1, OpTrap: 2, OpUnlq: 0,
+	},
+}
+
+// Specs maps an ID to its specification.
+func SpecOf(id ID) *Spec {
+	switch id {
+	case VAX:
+		return VAXSpec
+	case M68K:
+		return M68KSpec
+	case SPARC:
+		return SPARCSpec
+	}
+	panic("arch: unknown architecture")
+}
+
+// AllSpecs returns the specs of every architecture.
+func AllSpecs() []*Spec { return []*Spec{VAXSpec, M68KSpec, SPARCSpec} }

@@ -1,0 +1,163 @@
+package busstop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func mkStops() []Info {
+	return []Info{
+		{Stop: 0, PC: 10, Kind: KindCall, Pushes: true, ResultKind: ir.VKInt,
+			TempDepth: 1, TempKinds: []ir.VK{ir.VKPtr}},
+		{Stop: 1, PC: 25, Kind: KindLoopBottom},
+		{Stop: 2, PC: 31, Kind: KindMonExit, ExitOnly: true},
+		{Stop: 3, PC: 40, Kind: KindSyscall, Pushes: true, ResultKind: ir.VKPtr},
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	s, err := tbl.ByStop(0)
+	if err != nil || s.PC != 10 || !s.Pushes {
+		t.Errorf("ByStop(0) = %+v, %v", s, err)
+	}
+	s, err = tbl.ByPC(25)
+	if err != nil || s.Stop != 1 || s.Kind != KindLoopBottom {
+		t.Errorf("ByPC(25) = %+v, %v", s, err)
+	}
+	if _, err := tbl.ByStop(9); err == nil {
+		t.Error("ByStop out of range must fail")
+	}
+	if _, err := tbl.ByPC(11); err == nil {
+		t.Error("ByPC of a non-stop must fail")
+	}
+}
+
+func TestExitOnlySemantics(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Number -> PC conversion works (a thread may arrive at an exit-only
+	// stop from another architecture)...
+	s, err := tbl.ByStop(2)
+	if err != nil || s.PC != 31 {
+		t.Errorf("ByStop(2) = %+v, %v", s, err)
+	}
+	// ...but the local runtime never observes the PC.
+	if _, err := tbl.ByPC(31); err == nil {
+		t.Error("ByPC of an exit-only stop must fail")
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	bad := mkStops()
+	bad[1].Stop = 7
+	if _, err := NewTable(bad); err == nil {
+		t.Error("misnumbered stops accepted")
+	}
+	dup := mkStops()
+	dup[1].PC = 10
+	if _, err := NewTable(dup); err == nil {
+		t.Error("duplicate PCs accepted")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a, _ := NewTable(mkStops())
+	// Same structure, different PCs: isomorphic (that is the point).
+	other := mkStops()
+	for i := range other {
+		other[i].PC += 1000
+	}
+	b, _ := NewTable(other)
+	if err := Isomorphic(a, b); err != nil {
+		t.Errorf("differing PCs must stay isomorphic: %v", err)
+	}
+	// Different temp depth: not isomorphic.
+	other = mkStops()
+	other[0].TempDepth = 2
+	other[0].TempKinds = []ir.VK{ir.VKPtr, ir.VKInt}
+	c, _ := NewTable(other)
+	if err := Isomorphic(a, c); err == nil {
+		t.Error("temp mismatch must break isomorphism")
+	}
+	// Different length: not isomorphic.
+	d, _ := NewTable(mkStops()[:3])
+	if err := Isomorphic(a, d); err == nil {
+		t.Error("length mismatch must break isomorphism")
+	}
+	// Different kind: not isomorphic.
+	other = mkStops()
+	other[1].Kind = KindSyscall
+	e, _ := NewTable(other)
+	if err := Isomorphic(a, e); err == nil {
+		t.Error("kind mismatch must break isomorphism")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCall: "call", KindSyscall: "syscall",
+		KindLoopBottom: "loop", KindMonExit: "monexit",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestQuickBijection(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(pcs []uint16, exitMask uint8) bool {
+		// Build a table from distinct PCs.
+		seen := map[uint32]bool{}
+		var stops []Info
+		for i, pc := range pcs {
+			p := uint32(pc) + 1 // PC 0 is never a stop
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			stops = append(stops, Info{
+				Stop: len(stops), PC: p,
+				Kind:     Kind(i % 4),
+				ExitOnly: Kind(i%4) == KindMonExit && exitMask&(1<<(i%8)) != 0,
+			})
+		}
+		tbl, err := NewTable(stops)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tbl.Len(); i++ {
+			s, err := tbl.ByStop(i)
+			if err != nil {
+				return false
+			}
+			back, err := tbl.ByPCAny(s.PC)
+			if err != nil || back.Stop != i {
+				return false
+			}
+			strict, err := tbl.ByPC(s.PC)
+			if s.ExitOnly {
+				if err == nil {
+					return false
+				}
+			} else if err != nil || strict.Stop != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package codegen translates machine-independent IR into native code for
+// each simulated architecture, together with the metadata the runtime needs
+// for heterogeneous mobility: activation-record templates, object
+// templates, and bus-stop tables (§3.3).
+//
+// One Compile call produces code for every architecture from the same IR,
+// assigning code OIDs deterministically — the "program database" the paper
+// proposes to replace its manual OID synchronization (§3.4).
+//
+// Per-architecture differences produced here, all of which the kernel's
+// thread-state conversion must bridge:
+//
+//   - variable homes: the first len(Spec.HomeRegs) frame variables live in
+//     callee-saved registers, the rest in activation-record slots — so a
+//     variable that is a register on the SPARC may be memory on the VAX;
+//   - activation-record field order differs per ISA;
+//   - CISC back ends use memory-to-memory and stack-mode instructions,
+//     while the RISC back end loads operands into scratch registers
+//     ("RISCification": one abstract operation, several instructions);
+//   - monitor exit is an atomic UNLINKQ on the VAX (with an exit-only bus
+//     stop) and a kernel call elsewhere;
+//   - instruction encodings, and therefore all PC values, differ.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/busstop"
+	"repro/internal/ir"
+	"repro/internal/oid"
+	"repro/internal/template"
+)
+
+// FuncCode is the native code of one function on one architecture.
+type FuncCode struct {
+	Name     string
+	OpName   string
+	Code     []byte
+	Template *template.Activation
+	Stops    *busstop.Table
+	// Strings is the literal/name pool: trap operands and ModeLit operands
+	// index it. The kernel interns each entry as a string object at load.
+	Strings []string
+	// NumInstrs is the instruction count (differs per ISA for the same IR).
+	NumInstrs int
+}
+
+// ArchCode is one object's code for one architecture.
+type ArchCode struct {
+	Arch  arch.ID
+	Funcs []*FuncCode
+}
+
+// ObjectCode bundles everything the loader needs for one object
+// declaration: the machine-independent template and IR plus per-ISA code.
+type ObjectCode struct {
+	Name       string
+	Index      int
+	CodeOID    oid.OID
+	Template   *template.Object
+	IR         *ir.Object
+	HasProcess bool
+	PerArch    [arch.NumArch]*ArchCode
+}
+
+// FuncIndex returns the function index of the named operation, or -1.
+func (o *ObjectCode) FuncIndex(name string) int { return o.IR.FuncIndex(name) }
+
+// Program is a fully compiled program: one entry per object declaration,
+// each with code for every architecture.
+type Program struct {
+	Objects []*ObjectCode
+}
+
+// Object returns the compiled object named name, or nil.
+func (p *Program) Object(name string) *ObjectCode {
+	for _, o := range p.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// Options tune code generation for ablation studies.
+type Options struct {
+	// OmitLoopPolls drops the bottom-of-loop poll instructions (and their
+	// bus stops). The resulting code cannot be preempted or migrated at
+	// loop bottoms — the ablation quantifies what the paper's "most of the
+	// user code polls are free" claim costs in intra-node time.
+	OmitLoopPolls bool
+	// Specs overrides the target architectures (default arch.AllSpecs()).
+	// Custom specs may vary the number of register variable homes.
+	Specs []*arch.Spec
+}
+
+// Compile translates an IR program for every architecture.
+func Compile(p *ir.Program) (*Program, error) {
+	return CompileWithOptions(p, Options{})
+}
+
+// CompileWithOptions translates an IR program with explicit options.
+func CompileWithOptions(p *ir.Program, opts Options) (*Program, error) {
+	specs := opts.Specs
+	if specs == nil {
+		specs = arch.AllSpecs()
+	}
+	out := &Program{}
+	for idx, obj := range p.Objects {
+		oc := &ObjectCode{
+			Name:       obj.Name,
+			Index:      idx,
+			CodeOID:    oid.ForCode(idx),
+			IR:         obj,
+			HasProcess: obj.HasProcess,
+			Template: &template.Object{
+				Name:          obj.Name,
+				Immutable:     obj.Immutable,
+				Slots:         obj.VarKinds,
+				SlotNames:     obj.VarNames,
+				MonitoredFrom: obj.MonitoredFrom,
+				NumConds:      obj.NumConds,
+			},
+		}
+		for _, spec := range specs {
+			ac := &ArchCode{Arch: spec.ID}
+			for _, f := range obj.Funcs {
+				fc, err := compileFunc(spec, obj, f, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", f.Name, spec.Name, err)
+				}
+				ac.Funcs = append(ac.Funcs, fc)
+			}
+			oc.PerArch[spec.ID] = ac
+		}
+		out.Objects = append(out.Objects, oc)
+	}
+	// Bus-stop isomorphism is structural (same lowering order); verify it
+	// anyway so a back-end bug cannot silently break mobility.
+	for _, oc := range out.Objects {
+		var base *ArchCode
+		for _, spec := range specs {
+			other := oc.PerArch[spec.ID]
+			if base == nil {
+				base = other
+				continue
+			}
+			for i := range base.Funcs {
+				if err := busstop.Isomorphic(base.Funcs[i].Stops, other.Funcs[i].Stops); err != nil {
+					return nil, fmt.Errorf("%s: %v vs %v: %w", base.Funcs[i].Name, base.Arch, spec.ID, err)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// layout builds the per-ISA activation template for f.
+func layout(spec *arch.Spec, f *ir.Func, maxStack int) *template.Activation {
+	a := &template.Activation{
+		FuncName:   f.Name,
+		NumParams:  f.NumParams,
+		NumResults: f.NumResults,
+		NumVars:    f.NumVars,
+		Monitored:  f.Monitored,
+		TempSlots:  maxStack,
+	}
+	nHomes := len(spec.HomeRegs)
+	nRegVars := f.NumVars
+	if nRegVars > nHomes {
+		nRegVars = nHomes
+	}
+	nMemVars := f.NumVars - nRegVars
+	a.SavedRegs = append([]byte(nil), spec.HomeRegs[:nRegVars]...)
+
+	// Word-granular field allocation; the order differs per ISA so that
+	// activation records are genuinely laid out differently.
+	off := int32(0)
+	word := func() int32 {
+		o := off
+		off += template.WordSize
+		return o
+	}
+	words := func(n int) int32 {
+		o := off
+		off += int32(n) * template.WordSize
+		return o
+	}
+	memVars := func() int32 { return words(nMemVars) }
+	switch spec.ID {
+	case arch.VAX:
+		a.SavedFPOff = word()
+		a.RetDescOff = word()
+		a.RetPCOff = word()
+		a.SelfOff = word()
+		a.TempBaseOff = word()
+		a.SavedRegsOff = words(nRegVars)
+		mv := memVars()
+		a.TempOff = words(maxStack)
+		fillVars(a, f, spec, nRegVars, mv)
+	case arch.M68K:
+		a.RetPCOff = word()
+		a.RetDescOff = word()
+		a.SavedFPOff = word()
+		a.SelfOff = word()
+		a.TempBaseOff = word()
+		mv := memVars()
+		a.SavedRegsOff = words(nRegVars)
+		a.TempOff = words(maxStack)
+		fillVars(a, f, spec, nRegVars, mv)
+	default: // SPARC
+		a.SavedRegsOff = words(nRegVars)
+		a.SavedFPOff = word()
+		a.RetDescOff = word()
+		a.RetPCOff = word()
+		a.SelfOff = word()
+		a.TempBaseOff = word()
+		a.TempOff = words(maxStack)
+		mv := memVars()
+		fillVars(a, f, spec, nRegVars, mv)
+	}
+	a.Size = off
+	return a
+}
+
+func fillVars(a *template.Activation, f *ir.Func, spec *arch.Spec, nRegVars int, memBase int32) {
+	for v := 0; v < f.NumVars; v++ {
+		h := template.Home{Name: f.VarNames[v], Kind: f.VarKinds[v]}
+		if v < nRegVars {
+			h.InReg = true
+			h.Reg = spec.HomeRegs[v]
+		} else {
+			h.Off = memBase + int32(v-nRegVars)*template.WordSize
+		}
+		a.Vars = append(a.Vars, h)
+	}
+}
+
+// trapFor maps value-returning and effect-only IR syscalls to trap kinds.
+var sysTraps = map[ir.Op]struct {
+	kind   arch.TrapKind
+	pushes bool
+	rk     ir.VK
+}{
+	ir.SysPrint:    {arch.TrapPrint, false, ir.VKInt},
+	ir.SysNodes:    {arch.TrapNodes, true, ir.VKInt},
+	ir.SysThisNode: {arch.TrapThisNode, true, ir.VKInt},
+	ir.SysNodeAt:   {arch.TrapNodeAt, true, ir.VKInt},
+	ir.SysTimeMS:   {arch.TrapTimeMS, true, ir.VKInt},
+	ir.SysYield:    {arch.TrapYield, false, ir.VKInt},
+	ir.SysStrOf:    {arch.TrapStrOf, true, ir.VKPtr},
+	ir.SysConcat:   {arch.TrapConcat, true, ir.VKPtr},
+	ir.SysMove:     {arch.TrapMove, false, ir.VKInt},
+	ir.SysFix:      {arch.TrapFix, false, ir.VKInt},
+	ir.SysRefix:    {arch.TrapRefix, false, ir.VKInt},
+	ir.SysUnfix:    {arch.TrapUnfix, false, ir.VKInt},
+	ir.SysLocate:   {arch.TrapLocate, true, ir.VKInt},
+	ir.SysWait:     {arch.TrapWait, false, ir.VKInt},
+	ir.SysSignal:   {arch.TrapSignal, false, ir.VKInt},
+}
+
+type lowerer struct {
+	spec  *arch.Spec
+	opts  Options
+	f     *ir.Func
+	tmpl  *template.Activation
+	fi    *ir.FuncInfo
+	code  []byte
+	stops []busstop.Info
+	// irOff[i] is the machine offset of IR instruction i; fixups record
+	// (branch machine offset, IR target) pairs patched after lowering.
+	irOff  []uint32
+	fixups []fixup
+	n      int // instruction count
+}
+
+type fixup struct {
+	at       uint32
+	irTarget int32
+}
+
+func compileFunc(spec *arch.Spec, obj *ir.Object, f *ir.Func, opts Options) (*FuncCode, error) {
+	fi, err := ir.Analyze(f, obj.VarKinds)
+	if err != nil {
+		return nil, err
+	}
+	lo := &lowerer{
+		spec: spec, f: f, fi: fi, opts: opts,
+		tmpl:  layout(spec, f, fi.MaxStack),
+		irOff: make([]uint32, len(f.Code)+1),
+	}
+	if err := lo.tmpl.Validate(); err != nil {
+		return nil, err
+	}
+	for pc, in := range f.Code {
+		lo.irOff[pc] = uint32(len(lo.code))
+		if !fi.Reach[pc] {
+			// Keep a decodable placeholder so offsets remain well formed;
+			// it can never execute.
+			lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: arch.TrapFault,
+				TrapA: uint16(arch.FaultStack)})
+			continue
+		}
+		if err := lo.lower(pc, in); err != nil {
+			return nil, err
+		}
+	}
+	lo.irOff[len(f.Code)] = uint32(len(lo.code))
+	for _, fx := range lo.fixups {
+		target := lo.irOff[fx.irTarget]
+		if target > 0xffff {
+			return nil, fmt.Errorf("%s: branch target %#x exceeds 64KB", f.Name, target)
+		}
+		if err := arch.PatchTarget(spec, lo.code, fx.at, uint16(target)); err != nil {
+			return nil, err
+		}
+	}
+	tbl, err := busstop.NewTable(lo.stops)
+	if err != nil {
+		return nil, err
+	}
+	return &FuncCode{
+		Name:      f.Name,
+		OpName:    f.OpName,
+		Code:      lo.code,
+		Template:  lo.tmpl,
+		Stops:     tbl,
+		Strings:   f.Strings,
+		NumInstrs: lo.n,
+	}, nil
+}
+
+func (lo *lowerer) emit(in arch.Instr) uint32 {
+	at := uint32(len(lo.code))
+	code, err := arch.Encode(lo.spec, lo.code, in)
+	if err != nil {
+		// Lowering always produces encodable instructions; any failure is a
+		// back-end bug.
+		panic(fmt.Sprintf("codegen: %s: %v: %v", lo.f.Name, in, err))
+	}
+	lo.code = code
+	lo.n++
+	return at
+}
+
+// stop registers a bus stop at the current PC (the address after the last
+// emitted instruction, i.e. the resumption point).
+func (lo *lowerer) stop(kind busstop.Kind, exitOnly, pushes bool, rk ir.VK, depth int, kinds []ir.VK) {
+	lo.stops = append(lo.stops, busstop.Info{
+		Stop: len(lo.stops), PC: uint32(len(lo.code)), Kind: kind,
+		ExitOnly: exitOnly, Pushes: pushes, ResultKind: rk,
+		TempDepth: depth, TempKinds: append([]ir.VK(nil), kinds...),
+	})
+}
+
+// scratch registers for RISC lowering.
+func (lo *lowerer) sc(i int) byte { return lo.spec.ScratchRegs[i] }
+
+func (lo *lowerer) risc() bool { return lo.spec.Style == arch.EncFixedRISC }
+
+// mov emits a move, splitting it on RISC when both operands touch memory.
+func (lo *lowerer) mov(src, dst arch.Operand) {
+	if lo.risc() {
+		srcMem := src.Mode != arch.ModeReg
+		dstMem := dst.Mode != arch.ModeReg
+		if srcMem && dstMem {
+			r := arch.Reg(lo.sc(0))
+			lo.emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{src, r}})
+			lo.emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{r, dst}})
+			return
+		}
+	}
+	lo.emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{src, dst}})
+}
+
+// varOperand returns the operand addressing frame variable v.
+func (lo *lowerer) varOperand(v int32) arch.Operand {
+	h := lo.tmpl.Vars[v]
+	if h.InReg {
+		return arch.Reg(h.Reg)
+	}
+	return arch.Frame(uint16(h.Off))
+}
+
+// alu3 emits a three-operand stack ALU op: pops two, pushes one.
+func (lo *lowerer) alu3(op arch.Op, cc byte) {
+	if lo.risc() {
+		// src2 (top of stack) first, then src1.
+		lo.mov(arch.Pop(), arch.Reg(lo.sc(1)))
+		lo.mov(arch.Pop(), arch.Reg(lo.sc(0)))
+		lo.emit(arch.Instr{Op: op, CC: cc, N: 3, Operands: [3]arch.Operand{
+			arch.Reg(lo.sc(0)), arch.Reg(lo.sc(1)), arch.Reg(lo.sc(2))}})
+		lo.mov(arch.Reg(lo.sc(2)), arch.Push())
+		return
+	}
+	lo.emit(arch.Instr{Op: op, CC: cc, N: 3, Operands: [3]arch.Operand{
+		arch.Pop(), arch.Pop(), arch.Push()}})
+}
+
+// alu2 emits a two-operand stack ALU op: pops one, pushes one.
+func (lo *lowerer) alu2(op arch.Op) {
+	if lo.risc() {
+		lo.mov(arch.Pop(), arch.Reg(lo.sc(0)))
+		lo.emit(arch.Instr{Op: op, N: 2, Operands: [3]arch.Operand{
+			arch.Reg(lo.sc(0)), arch.Reg(lo.sc(1))}})
+		lo.mov(arch.Reg(lo.sc(1)), arch.Push())
+		return
+	}
+	lo.emit(arch.Instr{Op: op, N: 2, Operands: [3]arch.Operand{
+		arch.Pop(), arch.Push()}})
+}
+
+// trap emits a kernel trap and registers its bus stop.
+func (lo *lowerer) trap(pc int, kind arch.TrapKind, a, b uint16,
+	bsKind busstop.Kind, pushes bool, rk ir.VK) {
+	lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: kind, TrapA: a, TrapB: b})
+	pop, _ := ir.StackEffect(lo.f.Code[pc])
+	st := lo.fi.StackIn[pc]
+	depth := len(st) - pop
+	lo.stop(bsKind, false, pushes, rk, depth, st[:depth])
+}
+
+func (lo *lowerer) lower(pc int, in ir.Instr) error {
+	switch in.Op {
+	case ir.Nop:
+		// No code; the builder never produces Nop.
+	case ir.PushInt:
+		lo.mov(arch.Imm(uint32(in.A)), arch.Push())
+	case ir.PushReal:
+		lo.mov(arch.Imm(lo.spec.Float.Enc(float32(in.F))), arch.Push())
+	case ir.PushStr:
+		lo.mov(arch.Lit(uint16(in.S)), arch.Push())
+	case ir.PushNil:
+		lo.mov(arch.Imm(0), arch.Push())
+	case ir.PushSelf:
+		lo.mov(arch.Frame(uint16(lo.tmpl.SelfOff)), arch.Push())
+	case ir.LoadVar:
+		lo.mov(lo.varOperand(in.A), arch.Push())
+	case ir.StoreVar:
+		lo.mov(arch.Pop(), lo.varOperand(in.A))
+	case ir.LoadMine:
+		lo.mov(arch.SelfOp(uint16(4*in.A)), arch.Push())
+	case ir.StoreMine:
+		lo.mov(arch.Pop(), arch.SelfOp(uint16(4*in.A)))
+	case ir.AddI:
+		lo.alu3(arch.OpAdd, 0)
+	case ir.SubI:
+		lo.alu3(arch.OpSub, 0)
+	case ir.MulI:
+		lo.alu3(arch.OpMul, 0)
+	case ir.DivI:
+		lo.alu3(arch.OpDiv, 0)
+	case ir.ModI:
+		lo.alu3(arch.OpMod, 0)
+	case ir.NegI:
+		lo.alu2(arch.OpNeg)
+	case ir.AbsI:
+		lo.alu2(arch.OpAbs)
+	case ir.AddR:
+		lo.alu3(arch.OpFAdd, 0)
+	case ir.SubR:
+		lo.alu3(arch.OpFSub, 0)
+	case ir.MulR:
+		lo.alu3(arch.OpFMul, 0)
+	case ir.DivR:
+		lo.alu3(arch.OpFDiv, 0)
+	case ir.NegR:
+		lo.alu2(arch.OpFNeg)
+	case ir.CvtIR:
+		lo.alu2(arch.OpCvt)
+	case ir.NotB:
+		lo.alu2(arch.OpNot)
+	case ir.AndB:
+		lo.alu3(arch.OpAnd, 0)
+	case ir.OrB:
+		lo.alu3(arch.OpOr, 0)
+	case ir.CmpI, ir.CmpP:
+		lo.alu3(arch.OpScc, byte(in.A))
+	case ir.CmpR:
+		lo.alu3(arch.OpFScc, byte(in.A))
+	case ir.CmpS:
+		lo.alu3(arch.OpSScc, byte(in.A))
+	case ir.SLen:
+		lo.alu2(arch.OpSLen)
+	case ir.SIndex:
+		lo.alu3(arch.OpSIdx, 0)
+	case ir.ALoad, ir.AStore, ir.ALen:
+		// Arrays are mutable, mobile objects: element access goes through
+		// the kernel, which takes a fast path when the array is resident
+		// and a remote access protocol otherwise. (Strings are immutable
+		// and copied across the wire, so string access stays inline.)
+		var tk arch.TrapKind
+		pushes := true
+		rk := in.K
+		switch in.Op {
+		case ir.ALoad:
+			tk = arch.TrapALoad
+		case ir.AStore:
+			tk, pushes = arch.TrapAStore, false
+		case ir.ALen:
+			tk, rk = arch.TrapALen, ir.VKInt
+		}
+		lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: tk, TrapB: uint16(in.K)})
+		pop, _ := ir.StackEffect(in)
+		st := lo.fi.StackIn[pc]
+		depth := len(st) - pop
+		lo.stop(busstop.KindSyscall, false, pushes, rk, depth, st[:depth])
+	case ir.Drop:
+		lo.mov(arch.Pop(), arch.Reg(lo.sc(0)))
+	case ir.Jump:
+		at := lo.emit(arch.Instr{Op: arch.OpJmp})
+		lo.fixups = append(lo.fixups, fixup{at, in.A})
+	case ir.BrFalse, ir.BrTrue:
+		op := arch.OpBrz
+		if in.Op == ir.BrTrue {
+			op = arch.OpBrnz
+		}
+		var src arch.Operand
+		if lo.risc() {
+			lo.mov(arch.Pop(), arch.Reg(lo.sc(0)))
+			src = arch.Reg(lo.sc(0))
+		} else {
+			src = arch.Pop()
+		}
+		at := lo.emit(arch.Instr{Op: op, N: 1, Operands: [3]arch.Operand{src}})
+		lo.fixups = append(lo.fixups, fixup{at, in.A})
+	case ir.LoopBottom:
+		if lo.opts.OmitLoopPolls {
+			break // ablation: no poll, no bus stop at loop bottoms
+		}
+		lo.emit(arch.Instr{Op: arch.OpPoll})
+		st := lo.fi.StackIn[pc]
+		lo.stop(busstop.KindLoopBottom, false, false, ir.VKInt, len(st), st)
+	case ir.Ret:
+		if lo.f.Monitored {
+			if lo.spec.HasAtomicUnlink {
+				lo.emit(arch.Instr{Op: arch.OpUnlq})
+				st := lo.fi.StackIn[pc]
+				lo.stop(busstop.KindMonExit, true, false, ir.VKInt, len(st), st)
+			} else {
+				lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: arch.TrapMonExit})
+				st := lo.fi.StackIn[pc]
+				lo.stop(busstop.KindMonExit, false, false, ir.VKInt, len(st), st)
+			}
+		}
+		lo.emit(arch.Instr{Op: arch.OpRet})
+	case ir.Call:
+		lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: arch.TrapCall,
+			TrapA: uint16(in.S), TrapB: uint16(in.A)})
+		st := lo.fi.StackIn[pc]
+		depth := len(st) - int(in.A) - 1
+		lo.stop(busstop.KindCall, false, true, in.K, depth, st[:depth])
+	case ir.New:
+		lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: arch.TrapNew,
+			TrapA: uint16(in.S), TrapB: uint16(in.A)})
+		st := lo.fi.StackIn[pc]
+		depth := len(st) - int(in.A)
+		lo.stop(busstop.KindSyscall, false, true, ir.VKPtr, depth, st[:depth])
+	case ir.NewArray:
+		lo.emit(arch.Instr{Op: arch.OpTrap, TrapKind: arch.TrapNewArray,
+			TrapB: uint16(in.K)})
+		st := lo.fi.StackIn[pc]
+		depth := len(st) - 1
+		lo.stop(busstop.KindSyscall, false, true, ir.VKPtr, depth, st[:depth])
+	default:
+		ts, ok := sysTraps[in.Op]
+		if !ok {
+			return fmt.Errorf("codegen: cannot lower %v", in.Op)
+		}
+		a, b := uint16(in.S), uint16(in.A)
+		lo.trap(pc, ts.kind, a, b, busstop.KindSyscall, ts.pushes, ts.rk)
+	}
+	return nil
+}

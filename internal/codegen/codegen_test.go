@@ -1,0 +1,414 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/busstop"
+	"repro/internal/ir"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/types"
+)
+
+func compileSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Compile(ir.Build(info))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+const counterSrc = `
+object Counter
+  monitor
+    var count: Int <- 0
+    var nonzero: Condition
+    operation inc(n: Int) -> (r: Int)
+      count <- count + n
+      signal nonzero
+      r <- count
+    end inc
+    operation take() -> (r: Int)
+      while count == 0 do
+        wait nonzero
+      end
+      count <- count - 1
+      r <- count
+    end take
+  end monitor
+end Counter
+object Main
+  var c: Counter
+  initially
+    c <- new Counter
+  end initially
+  process
+    var i: Int <- 0
+    while i < 10 do
+      c.inc(i)
+      i <- i + 1
+    end
+    print("sum done at ", timems())
+  end process
+end Main
+`
+
+func TestCompileAllArchs(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	if len(p.Objects) != 2 {
+		t.Fatalf("objects = %d", len(p.Objects))
+	}
+	for _, oc := range p.Objects {
+		for _, id := range arch.All() {
+			ac := oc.PerArch[id]
+			if ac == nil || len(ac.Funcs) != len(oc.IR.Funcs) {
+				t.Fatalf("%s/%s: missing code", oc.Name, id)
+			}
+			for _, fc := range ac.Funcs {
+				if len(fc.Code) == 0 {
+					t.Errorf("%s/%s: empty code", fc.Name, id)
+				}
+				if err := fc.Template.Validate(); err != nil {
+					t.Errorf("template: %v", err)
+				}
+				// All code must disassemble cleanly.
+				d := arch.Disassemble(arch.SpecOf(id), fc.Code)
+				if strings.Contains(d, "undecodable") {
+					t.Errorf("%s/%s: undecodable code:\n%s", fc.Name, id, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCodeOIDsDeterministic(t *testing.T) {
+	p1 := compileSrc(t, counterSrc)
+	p2 := compileSrc(t, counterSrc)
+	for i := range p1.Objects {
+		if p1.Objects[i].CodeOID != p2.Objects[i].CodeOID {
+			t.Errorf("OID mismatch for %s", p1.Objects[i].Name)
+		}
+	}
+	if p1.Objects[0].CodeOID == p1.Objects[1].CodeOID {
+		t.Error("distinct objects share a code OID")
+	}
+}
+
+func TestBusStopIsomorphismAndDifferingPCs(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	main := p.Object("Main")
+	procIdx := main.FuncIndex("$process")
+	var tables []*busstop.Table
+	for _, id := range arch.All() {
+		tables = append(tables, main.PerArch[id].Funcs[procIdx].Stops)
+	}
+	for i := 1; i < len(tables); i++ {
+		if err := busstop.Isomorphic(tables[0], tables[i]); err != nil {
+			t.Fatalf("isomorphism: %v", err)
+		}
+	}
+	if tables[0].Len() < 3 {
+		t.Fatalf("too few stops: %d", tables[0].Len())
+	}
+	// PCs for the same stop must differ somewhere across architectures —
+	// that is the whole point of the machine-independent numbering.
+	differ := false
+	for n := 0; n < tables[0].Len(); n++ {
+		a, _ := tables[0].ByStop(n)
+		b, _ := tables[1].ByStop(n)
+		c, _ := tables[2].ByStop(n)
+		if a.PC != b.PC || b.PC != c.PC {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("all bus-stop PCs identical across architectures")
+	}
+}
+
+func TestCodeSizesAndInstrCountsDiffer(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	inc := p.Object("Counter")
+	idx := inc.FuncIndex("inc")
+	sizes := map[arch.ID]int{}
+	counts := map[arch.ID]int{}
+	for _, id := range arch.All() {
+		fc := inc.PerArch[id].Funcs[idx]
+		sizes[id] = len(fc.Code)
+		counts[id] = fc.NumInstrs
+	}
+	if sizes[arch.VAX] == sizes[arch.M68K] && sizes[arch.M68K] == sizes[arch.SPARC] {
+		t.Errorf("identical code sizes: %v", sizes)
+	}
+	if counts[arch.SPARC] <= counts[arch.VAX] {
+		t.Errorf("RISCification missing: sparc %d instrs vs vax %d", counts[arch.SPARC], counts[arch.VAX])
+	}
+}
+
+func TestRegisterHomesDifferPerArch(t *testing.T) {
+	p := compileSrc(t, `
+object M
+  operation f(a: Int, b: Int, c: Int, d: Int, e: Int, g: Int, h: Int) -> (r: Int)
+    r <- a + b + c + d + e + g + h
+  end
+end M
+`)
+	m := p.Object("M")
+	idx := m.FuncIndex("f")
+	vax := m.PerArch[arch.VAX].Funcs[idx].Template
+	m68k := m.PerArch[arch.M68K].Funcs[idx].Template
+	sparc := m.PerArch[arch.SPARC].Funcs[idx].Template
+	// Variable 5 ("g"): register on SPARC (8 homes) and M68K (6 homes),
+	// memory on VAX (4 homes).
+	if vax.Vars[5].InReg {
+		t.Error("vax: var 5 should be in memory")
+	}
+	if !m68k.Vars[5].InReg || !sparc.Vars[5].InReg {
+		t.Error("m68k/sparc: var 5 should be a register home")
+	}
+	// Variable 7 ("r"): memory on M68K, register on SPARC.
+	if m68k.Vars[7].InReg || !sparc.Vars[7].InReg {
+		t.Errorf("var 7 homes wrong: m68k=%v sparc=%v", m68k.Vars[7], sparc.Vars[7])
+	}
+	if len(vax.SavedRegs) != 4 || len(m68k.SavedRegs) != 6 || len(sparc.SavedRegs) != 8 {
+		t.Errorf("saved regs: %d/%d/%d", len(vax.SavedRegs), len(m68k.SavedRegs), len(sparc.SavedRegs))
+	}
+}
+
+func TestActivationLayoutsDiffer(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	m := p.Object("Main")
+	idx := m.FuncIndex("$process")
+	vax := m.PerArch[arch.VAX].Funcs[idx].Template
+	m68k := m.PerArch[arch.M68K].Funcs[idx].Template
+	sparc := m.PerArch[arch.SPARC].Funcs[idx].Template
+	if vax.SavedFPOff == m68k.SavedFPOff && m68k.SavedFPOff == sparc.SavedFPOff &&
+		vax.RetPCOff == m68k.RetPCOff {
+		t.Error("activation record field order identical across ISAs")
+	}
+}
+
+func TestMonitorExitStops(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	c := p.Object("Counter")
+	idx := c.FuncIndex("inc")
+	findMonExit := func(tbl *busstop.Table) (busstop.Info, bool) {
+		for _, s := range tbl.All() {
+			if s.Kind == busstop.KindMonExit {
+				return s, true
+			}
+		}
+		return busstop.Info{}, false
+	}
+	vaxStop, ok := findMonExit(c.PerArch[arch.VAX].Funcs[idx].Stops)
+	if !ok || !vaxStop.ExitOnly {
+		t.Errorf("vax monexit stop = %+v, want exit-only", vaxStop)
+	}
+	for _, id := range []arch.ID{arch.M68K, arch.SPARC} {
+		s, ok := findMonExit(c.PerArch[id].Funcs[idx].Stops)
+		if !ok || s.ExitOnly {
+			t.Errorf("%s monexit stop = %+v, want non-exit-only syscall", id, s)
+		}
+	}
+	// The VAX generates an UNLINKQ instruction; others a monexit trap.
+	vaxAsm := arch.Disassemble(arch.VAXSpec, c.PerArch[arch.VAX].Funcs[idx].Code)
+	if !strings.Contains(vaxAsm, "unlq") {
+		t.Errorf("vax inc lacks unlq:\n%s", vaxAsm)
+	}
+	m68kAsm := arch.Disassemble(arch.M68KSpec, c.PerArch[arch.M68K].Funcs[idx].Code)
+	if !strings.Contains(m68kAsm, "trap monexit") {
+		t.Errorf("m68k inc lacks monexit trap:\n%s", m68kAsm)
+	}
+}
+
+func TestCallStopRecordsTemps(t *testing.T) {
+	p := compileSrc(t, `
+object A
+  operation f(x: Int) -> (r: Int)
+    r <- x
+  end
+end A
+object M
+  process
+    var a: A <- new A
+    var total: Int <- a.f(1) + a.f(2)
+    print(total)
+  end process
+end M
+`)
+	m := p.Object("M")
+	idx := m.FuncIndex("$process")
+	for _, id := range arch.All() {
+		tbl := m.PerArch[id].Funcs[idx].Stops
+		var callStops []busstop.Info
+		for _, s := range tbl.All() {
+			if s.Kind == busstop.KindCall {
+				callStops = append(callStops, s)
+			}
+		}
+		if len(callStops) != 2 {
+			t.Fatalf("%s: %d call stops", id, len(callStops))
+		}
+		// At the second call, the first call's integer result is a live
+		// temporary.
+		s := callStops[1]
+		if s.TempDepth != 1 || len(s.TempKinds) != 1 || s.TempKinds[0] != ir.VKInt {
+			t.Errorf("%s: second call stop temps = depth %d kinds %v", id, s.TempDepth, s.TempKinds)
+		}
+		if !s.Pushes || s.ResultKind != ir.VKInt {
+			t.Errorf("%s: call stop result: pushes=%v kind=%v", id, s.Pushes, s.ResultKind)
+		}
+	}
+}
+
+func TestByPCRejectsExitOnly(t *testing.T) {
+	p := compileSrc(t, counterSrc)
+	c := p.Object("Counter")
+	idx := c.FuncIndex("inc")
+	tbl := c.PerArch[arch.VAX].Funcs[idx].Stops
+	for _, s := range tbl.All() {
+		if s.Kind == busstop.KindMonExit {
+			if _, err := tbl.ByPC(s.PC); err == nil {
+				t.Error("ByPC should reject exit-only stops")
+			}
+			if got, err := tbl.ByStop(s.Stop); err != nil || got.PC != s.PC {
+				t.Error("ByStop must still resolve exit-only stops (arriving threads)")
+			}
+		}
+	}
+}
+
+func TestUnreachableCodeCompiles(t *testing.T) {
+	p := compileSrc(t, `
+object M
+  operation f() -> (r: Int)
+    loop
+      r <- r + 1
+    end
+  end
+end M
+`)
+	// The trailing implicit ret is unreachable; compilation must still
+	// produce decodable code on every arch.
+	m := p.Object("M")
+	for _, id := range arch.All() {
+		fc := m.PerArch[id].Funcs[m.FuncIndex("f")]
+		if strings.Contains(arch.Disassemble(arch.SpecOf(id), fc.Code), "undecodable") {
+			t.Errorf("%s: unreachable lowering broke decoding", id)
+		}
+	}
+}
+
+func TestStringsPoolShared(t *testing.T) {
+	p := compileSrc(t, `
+object M
+  process
+    print("hello")
+    print("hello", "world")
+  end process
+end M
+`)
+	fc := p.Object("M").PerArch[arch.VAX].Funcs[p.Object("M").FuncIndex("$process")]
+	count := 0
+	for _, s := range fc.Strings {
+		if s == "hello" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("string pool has %d copies of \"hello\"", count)
+	}
+}
+
+func TestOmitLoopPollsOption(t *testing.T) {
+	src := `
+object M
+  operation f() -> (r: Int)
+    var i: Int <- 0
+    while i < 5 do
+      i <- i + 1
+    end
+    r <- i
+  end
+end M
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := CompileWithOptions(ir.Build(info), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CompileWithOptions(ir.Build(info), Options{OmitLoopPolls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range arch.All() {
+		fw := with.Object("M").PerArch[id].Funcs[0]
+		fo := without.Object("M").PerArch[id].Funcs[0]
+		if fo.Stops.Len() != fw.Stops.Len()-1 {
+			t.Errorf("%s: stops %d -> %d, want exactly one loop stop removed",
+				id, fw.Stops.Len(), fo.Stops.Len())
+		}
+		for _, s := range fo.Stops.All() {
+			if s.Kind == busstop.KindLoopBottom {
+				t.Errorf("%s: loop-bottom stop survived the ablation", id)
+			}
+		}
+		if fo.NumInstrs >= fw.NumInstrs {
+			t.Errorf("%s: poll instructions not removed (%d vs %d)", id, fo.NumInstrs, fw.NumInstrs)
+		}
+	}
+}
+
+func TestCustomSpecsOption(t *testing.T) {
+	src := `
+object M
+  operation f(a: Int, b: Int, c: Int) -> (r: Int)
+    r <- a + b + c
+  end
+end M
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noHomes := *arch.SPARCSpec
+	noHomes.HomeRegs = nil
+	p, err := CompileWithOptions(ir.Build(info), Options{Specs: []*arch.Spec{&noHomes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := p.Object("M").PerArch[arch.SPARC].Funcs[0].Template
+	for i, h := range tmpl.Vars {
+		if h.InReg {
+			t.Errorf("var %d still has a register home", i)
+		}
+	}
+	if len(tmpl.SavedRegs) != 0 {
+		t.Errorf("saved regs = %v, want none", tmpl.SavedRegs)
+	}
+	// Other architectures were not compiled.
+	if p.Object("M").PerArch[arch.VAX] != nil {
+		t.Error("unrequested architecture compiled")
+	}
+}

@@ -1,0 +1,65 @@
+package codesrv
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/types"
+)
+
+func prog(t *testing.T) *codegen.Program {
+	t.Helper()
+	ast, err := parser.Parse(`
+object A
+  operation f() -> (r: Int)
+    r <- 1
+  end
+end A
+object B
+end B
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Compile(ir.Build(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFetchByOIDAndArch(t *testing.T) {
+	p := prog(t)
+	s := New(p)
+	for _, oc := range p.Objects {
+		for _, id := range arch.All() {
+			got, ac, lat, err := s.Fetch(oc.CodeOID, id)
+			if err != nil {
+				t.Fatalf("fetch %v/%v: %v", oc.CodeOID, id, err)
+			}
+			if got != oc || ac != oc.PerArch[id] {
+				t.Error("wrong code object returned")
+			}
+			if lat <= 0 {
+				t.Error("cold fetch should cost latency")
+			}
+		}
+	}
+	if s.Fetches() != uint64(len(p.Objects)*len(arch.All())) {
+		t.Errorf("fetches = %d", s.Fetches())
+	}
+}
+
+func TestFetchUnknown(t *testing.T) {
+	s := New(prog(t))
+	if _, _, _, err := s.Fetch(9999, arch.VAX); err == nil {
+		t.Error("unknown OID must fail")
+	}
+}

@@ -1,0 +1,138 @@
+// Package core is the public face of the system: it wires the compiler
+// pipeline (lexer → parser → type checker → IR → per-ISA code generation)
+// to the runtime (simulated heterogeneous cluster) behind a small API.
+//
+// Typical use:
+//
+//	prog, err := core.Compile(src)
+//	sys, err := core.NewSystem(prog, core.Figure1Network(), core.Options{})
+//	err = sys.Run()
+//	fmt.Println(sys.Output())
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/types"
+	"repro/internal/netsim"
+)
+
+// Compile runs the whole compiler pipeline on Emerald-subset source,
+// producing native code, templates and bus-stop tables for every
+// architecture.
+func Compile(src string) (*codegen.Program, error) {
+	ast, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(ast)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	return codegen.Compile(ir.Build(info))
+}
+
+// CompileInfo additionally returns the checked AST information (used by the
+// source and byte-code interpreters).
+func CompileInfo(src string) (*types.Info, *codegen.Program, error) {
+	ast, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(ast)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck: %w", err)
+	}
+	p, err := codegen.Compile(ir.Build(info))
+	if err != nil {
+		return nil, nil, err
+	}
+	return info, p, nil
+}
+
+// Options configures a System.
+type Options struct {
+	// Mode selects original (homogeneous-only) vs enhanced conversion.
+	Mode kernel.ConvMode
+	// Placement maps root objects to nodes (nil: all on node 0).
+	Placement func(objName string, rootIdx int) int
+	// MaxEvents bounds the simulation (0: a generous default).
+	MaxEvents uint64
+	// Trace receives kernel event lines.
+	Trace func(string)
+}
+
+// System is a compiled program loaded on a simulated network.
+type System struct {
+	Cluster *kernel.Cluster
+	opts    Options
+}
+
+// Figure1Network returns the paper's sample network (Figure 1): Sun-3,
+// HP9000/300, SPARC and VAX workstations on one Ethernet.
+func Figure1Network() []netsim.MachineModel {
+	return []netsim.MachineModel{
+		netsim.Sun3_100,
+		netsim.HP9000_433s,
+		netsim.SPARCstationSLC,
+		netsim.VAXstation2000,
+	}
+}
+
+// NewSystem loads prog onto a cluster of the given machines.
+func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Options) (*System, error) {
+	cfg := kernel.DefaultConfig()
+	cfg.Mode = opts.Mode
+	cfg.Trace = opts.Trace
+	cl, err := kernel.NewCluster(prog, machines, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Cluster: cl, opts: opts}, nil
+}
+
+// Run boots the program and drives the simulation until it quiesces.
+func (s *System) Run() error {
+	s.Cluster.Start(s.opts.Placement)
+	limit := s.opts.MaxEvents
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	if err := s.Cluster.Run(limit); err != nil {
+		return err
+	}
+	if len(s.Cluster.Faults) > 0 {
+		f := s.Cluster.Faults[0]
+		return fmt.Errorf("runtime fault on node %d: %s", f.Node, f.Msg)
+	}
+	return nil
+}
+
+// Output returns everything the program printed, in order.
+func (s *System) Output() string { return s.Cluster.OutputText() }
+
+// Lines returns the printed lines.
+func (s *System) Lines() []string { return s.Cluster.PrintedLines() }
+
+// ElapsedMS returns the simulated run time in milliseconds.
+func (s *System) ElapsedMS() float64 { return s.Cluster.Sim.Now().MS() }
+
+// RunSource is the one-call convenience: compile and run src on machines.
+func RunSource(src string, machines []netsim.MachineModel, opts Options) (*System, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(prog, machines, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(); err != nil {
+		return sys, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	bs, err := BusStopDensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	homes, err := RegisterHomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatAblations(bs, homes))
+	if bs.OverheadPct < 0 || bs.OverheadPct > 25 {
+		t.Errorf("poll overhead %.1f%% out of the 'nearly free' band", bs.OverheadPct)
+	}
+	if bs.StopsWithout >= bs.StopsWith {
+		t.Error("loop-bottom stops were not removed")
+	}
+	// Fewer homes must not be faster locally.
+	if homes[0].ComputeMS < homes[1].ComputeMS {
+		t.Errorf("memory-only (%f) beat defaults (%f)", homes[0].ComputeMS, homes[1].ComputeMS)
+	}
+	if homes[2].ComputeMS > homes[1].ComputeMS {
+		t.Errorf("wide homes (%f) slower than defaults (%f)", homes[2].ComputeMS, homes[1].ComputeMS)
+	}
+}

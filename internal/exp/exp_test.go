@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	cells, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatTable1(cells))
+	byLabel := map[string]Cell{}
+	for _, c := range cells {
+		byLabel[c.Pair.Label] = c
+	}
+	// Shape checks, mirroring the paper's qualitative claims.
+	sparc := byLabel["SPARC<->SPARC"]
+	if sparc.OverheadPct < 35 || sparc.OverheadPct > 90 {
+		t.Errorf("SPARC overhead %.0f%%, paper reports ~57%%", sparc.OverheadPct)
+	}
+	hp := byLabel["HP9000/300-1<->HP9000/300-2"]
+	if hp.OverheadPct < 35 || hp.OverheadPct > 90 {
+		t.Errorf("HP overhead %.0f%%, paper reports ~57%%", hp.OverheadPct)
+	}
+	// Ordering: the HP pair is the fastest, Sun-3 pairs the slowest among
+	// the measured M68K rows; SPARC<->Sun3 is the slowest SPARC row.
+	if !(hp.EnhancedMS < sparc.EnhancedMS) {
+		t.Errorf("HP pair (%f) should beat SPARC pair (%f)", hp.EnhancedMS, sparc.EnhancedMS)
+	}
+	if !(byLabel["SPARC<->Sun3"].EnhancedMS > byLabel["SPARC<->HP9000/300-1"].EnhancedMS) {
+		t.Error("Sun-3 should be the slow partner among SPARC rows")
+	}
+	if !(byLabel["SPARC<->HP9000/300-2"].EnhancedMS > byLabel["SPARC<->HP9000/300-1"].EnhancedMS) {
+		t.Error("the 25MHz HP should be slower than the 33MHz HP")
+	}
+	// Absolute band: within 35% of every measurable paper cell.
+	check := func(label string, paper float64, got float64) {
+		if got < paper*0.65 || got > paper*1.35 {
+			t.Errorf("%s: %.0f ms vs paper %.0f ms (>35%% off)", label, got, paper)
+		}
+	}
+	check("SPARC orig", 40, sparc.OriginalMS)
+	check("SPARC enh", 63, sparc.EnhancedMS)
+	check("HP orig", 28, hp.OriginalMS)
+	check("HP enh", 44, hp.EnhancedMS)
+	check("Sun3 orig", 65, byLabel["Sun-3<->Sun-3"].OriginalMS)
+	check("VAX orig", 79, byLabel["VAX<->VAX"].OriginalMS)
+	check("SPARC<->Sun3 enh", 122, byLabel["SPARC<->Sun3"].EnhancedMS)
+	check("Sun3<->HP1 enh", 109, byLabel["Sun-3<->HP9000/300-1"].EnhancedMS)
+}
+
+func TestFigure2Hierarchy(t *testing.T) {
+	rows, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatFigure2(rows))
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if r.Output != rows[0].Output {
+			t.Errorf("%s output %q differs from source %q", r.Level, r.Output, rows[0].Output)
+		}
+	}
+}
+
+func TestFigure34(t *testing.T) {
+	s, err := Figure34()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+	for _, frag := range []string{
+		"code1: o1; switch(); o2; o3; o4; o5; o6",
+		"code2: o2; o5; switch(); o4; o1; o3; o6",
+		"bridge: o2; o4; o5; -> code2@o3",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("figure output missing %q", frag)
+		}
+	}
+}
+
+func TestIntraNodeInvariant(t *testing.T) {
+	for _, m := range []netsim.MachineModel{
+		netsim.VAXstation2000, netsim.Sun3_100, netsim.SPARCstationSLC,
+	} {
+		r, err := IntraNode(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !r.EnhancedMatches {
+			t.Errorf("%s: local %.1fms, migrated %.1fms, original-system %.1fms — must all match",
+				r.Arch, r.LocalMS, r.MigratedMS, r.OriginalSysMS)
+		}
+	}
+}
+
+func TestConversionStudy(t *testing.T) {
+	rs, err := ConversionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatConversionStudy(rs))
+	byMode := map[kernel.ConvMode]ConvResult{}
+	for _, r := range rs {
+		byMode[r.Mode] = r
+	}
+	orig := byMode[kernel.ModeOriginal]
+	enh := byMode[kernel.ModeEnhanced]
+	bat := byMode[kernel.ModeEnhancedBatched]
+	fast := byMode[kernel.ModeEnhancedFastPath]
+	if orig.ConvCalls != 0 {
+		t.Errorf("original made %d conversion calls", orig.ConvCalls)
+	}
+	if !(enh.MovesMS > orig.MovesMS) {
+		t.Error("enhanced must be slower than original")
+	}
+	// The paper's observation: 1-2 conversion calls per byte transferred.
+	if enh.CallsPerByte < 1 || enh.CallsPerByte > 2.6 {
+		t.Errorf("enhanced calls/byte = %.2f, paper observes 1-2", enh.CallsPerByte)
+	}
+	// The paper's guess: efficient routines cut the penalty roughly in half.
+	penEnh := enh.MovesMS - orig.MovesMS
+	penBat := bat.MovesMS - orig.MovesMS
+	ratio := penBat / penEnh
+	if ratio < 0.3 || ratio > 0.75 {
+		t.Errorf("batched penalty ratio = %.2f, expected ~0.5", ratio)
+	}
+	// Homogeneous fast path: near-original speed.
+	if fast.MovesMS > orig.MovesMS*1.15 {
+		t.Errorf("fast path %.1f ms vs original %.1f ms", fast.MovesMS, orig.MovesMS)
+	}
+}

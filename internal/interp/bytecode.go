@@ -1,0 +1,385 @@
+// The byte-code interpreter: the middle of the Figure 2 hierarchy, and the
+// spiritual sibling of BC-Emerald (the non-distributed byte-coded Emerald,
+// §3.7). It executes the machine-independent IR directly — no encoding, no
+// registers, no per-ISA state — so thread states at this level are already
+// machine independent.
+
+package interp
+
+import (
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Bytecode interprets an IR program on a single node.
+type Bytecode struct {
+	rt   *RT
+	prog *ir.Program
+}
+
+// NewBytecode builds a byte-code interpreter.
+func NewBytecode(prog *ir.Program) *Bytecode {
+	return &Bytecode{rt: NewRT(), prog: prog}
+}
+
+// RT exposes the runtime.
+func (b *Bytecode) RT() *RT { return b.rt }
+
+// Run boots the program and interprets to completion.
+func (b *Bytecode) Run() {
+	var roots []*ir.Object
+	if m := b.prog.Object("Main"); m != nil && m.HasProcess {
+		roots = []*ir.Object{m}
+	} else {
+		for _, o := range b.prog.Objects {
+			if o.HasProcess {
+				roots = append(roots, o)
+			}
+		}
+	}
+	for _, o := range roots {
+		o := o
+		b.rt.Spawn(func(t *Thread) { b.create(o, nil) })
+	}
+	b.rt.Run()
+}
+
+// bcObject attaches the IR class to a runtime object (Decl stays nil at
+// this level; formatting uses the IR name).
+type bcObject struct {
+	Object
+	ir *ir.Object
+}
+
+func (b *Bytecode) create(cls *ir.Object, args []any) *bcObject {
+	obj := &bcObject{ir: cls}
+	obj.Vars = make([]any, len(cls.VarKinds))
+	obj.conds = make([][]*Thread, cls.NumConds)
+	for i, k := range cls.VarKinds {
+		obj.Vars[i] = zeroVK(k)
+	}
+	b.call(obj, cls.Init(), nil)
+	for i, a := range args {
+		obj.Vars[i] = a
+	}
+	if idx := cls.FuncIndex("$initially"); idx >= 0 {
+		b.call(obj, cls.Funcs[idx], nil)
+	}
+	if proc := cls.Process(); proc != nil {
+		b.rt.Spawn(func(t *Thread) { b.call(obj, proc, nil) })
+	}
+	return obj
+}
+
+func zeroVK(k ir.VK) any {
+	switch k {
+	case ir.VKReal:
+		return float32(0)
+	case ir.VKPtr:
+		return nil
+	default:
+		return int32(0)
+	}
+}
+
+// call runs one IR function to completion on the current thread, returning
+// the value a Call instruction pushes.
+func (b *Bytecode) call(self *bcObject, f *ir.Func, args []any) any {
+	vars := make([]any, f.NumVars)
+	for i := range vars {
+		vars[i] = zeroVK(f.VarKinds[i])
+	}
+	copy(vars, args)
+	if f.Monitored {
+		b.rt.MonEnter(&self.Object)
+	}
+	stack := make([]any, 0, 16)
+	push := func(v any) { stack = append(stack, v) }
+	pop := func() any {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	popI := func() int32 { return AsInt(pop()) }
+	popR := func() float32 { return pop().(float32) }
+	ret := func() any {
+		if f.Monitored {
+			b.rt.MonExit(&self.Object)
+		}
+		if f.NumResults > 0 {
+			return vars[f.NumParams]
+		}
+		return int32(0)
+	}
+	cmp := func(cc int32, lt, eq bool) bool {
+		switch int(cc) {
+		case ir.CmpEQ:
+			return eq
+		case ir.CmpNE:
+			return !eq
+		case ir.CmpLT:
+			return lt
+		case ir.CmpLE:
+			return lt || eq
+		case ir.CmpGT:
+			return !lt && !eq
+		default:
+			return !lt
+		}
+	}
+
+	pc := 0
+	for {
+		b.rt.Steps++
+		in := f.Code[pc]
+		pc++
+		switch in.Op {
+		case ir.Nop:
+		case ir.PushInt:
+			push(in.A)
+		case ir.PushReal:
+			push(float32(in.F))
+		case ir.PushStr:
+			push(f.Strings[in.S])
+		case ir.PushNil:
+			push(nil)
+		case ir.PushSelf:
+			push(self)
+		case ir.LoadVar:
+			push(vars[in.A])
+		case ir.StoreVar:
+			vars[in.A] = pop()
+		case ir.LoadMine:
+			push(self.Vars[in.A])
+		case ir.StoreMine:
+			self.Vars[in.A] = pop()
+		case ir.AddI:
+			y, x := popI(), popI()
+			push(x + y)
+		case ir.SubI:
+			y, x := popI(), popI()
+			push(x - y)
+		case ir.MulI:
+			y, x := popI(), popI()
+			push(x * y)
+		case ir.DivI:
+			y, x := popI(), popI()
+			if y == 0 {
+				Faultf("division by zero")
+			}
+			push(x / y)
+		case ir.ModI:
+			y, x := popI(), popI()
+			if y == 0 {
+				Faultf("division by zero")
+			}
+			push(x % y)
+		case ir.NegI:
+			push(-popI())
+		case ir.AbsI:
+			v := popI()
+			if v < 0 {
+				v = -v
+			}
+			push(v)
+		case ir.AddR:
+			y, x := popR(), popR()
+			push(x + y)
+		case ir.SubR:
+			y, x := popR(), popR()
+			push(x - y)
+		case ir.MulR:
+			y, x := popR(), popR()
+			push(x * y)
+		case ir.DivR:
+			y, x := popR(), popR()
+			if y == 0 {
+				Faultf("division by zero")
+			}
+			push(x / y)
+		case ir.NegR:
+			push(-popR())
+		case ir.CvtIR:
+			push(float32(popI()))
+		case ir.NotB:
+			push(popI() == 0)
+		case ir.AndB:
+			y, x := popI(), popI()
+			push(x != 0 && y != 0)
+		case ir.OrB:
+			y, x := popI(), popI()
+			push(x != 0 || y != 0)
+		case ir.CmpI:
+			y, x := popI(), popI()
+			push(cmp(in.A, x < y, x == y))
+		case ir.CmpR:
+			y, x := popR(), popR()
+			push(cmp(in.A, x < y, x == y))
+		case ir.CmpS:
+			y, x := pop().(string), pop().(string)
+			push(cmp(in.A, x < y, x == y))
+		case ir.CmpP:
+			y, x := pop(), pop()
+			push(cmp(in.A, false, x == y))
+		case ir.SLen:
+			push(int32(len(pop().(string))))
+		case ir.SIndex:
+			i, s := popI(), pop().(string)
+			if i < 0 || int(i) >= len(s) {
+				Faultf("index %d out of bounds (length %d)", i, len(s))
+			}
+			push(int32(s[i]))
+		case ir.ALen:
+			push(int32(len(b.asArray(pop()).Elems)))
+		case ir.ALoad:
+			i, av := popI(), pop()
+			a := b.asArray(av)
+			if i < 0 || int(i) >= len(a.Elems) {
+				Faultf("index %d out of bounds (length %d)", i, len(a.Elems))
+			}
+			push(a.Elems[i])
+		case ir.AStore:
+			v, i, av := pop(), popI(), pop()
+			a := b.asArray(av)
+			if i < 0 || int(i) >= len(a.Elems) {
+				Faultf("index %d out of bounds (length %d)", i, len(a.Elems))
+			}
+			a.Elems[i] = v
+		case ir.Drop:
+			pop()
+		case ir.Jump:
+			pc = int(in.A)
+		case ir.BrFalse:
+			if popI() == 0 {
+				pc = int(in.A)
+			}
+		case ir.BrTrue:
+			if popI() != 0 {
+				pc = int(in.A)
+			}
+		case ir.LoopBottom:
+			if len(b.rt.runq) > 0 {
+				b.rt.Yield()
+			}
+		case ir.Ret:
+			return ret()
+		case ir.Call:
+			argc := int(in.A)
+			args := make([]any, argc)
+			for i := argc - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			rv := pop()
+			if rv == nil {
+				Faultf("invocation of %s on nil", f.Strings[in.S])
+			}
+			recv, ok := rv.(*bcObject)
+			if !ok {
+				Faultf("invocation of %s on a non-object value", f.Strings[in.S])
+			}
+			idx := recv.ir.FuncIndex(f.Strings[in.S])
+			if idx < 0 {
+				Faultf("%s has no operation %s", recv.ir.Name, f.Strings[in.S])
+			}
+			callee := recv.ir.Funcs[idx]
+			if callee.NumParams != argc {
+				Faultf("%s takes %d arguments, got %d", callee.OpName, callee.NumParams, argc)
+			}
+			push(b.call(recv, callee, args))
+		case ir.New:
+			argc := int(in.A)
+			args := make([]any, argc)
+			for i := argc - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			cls := b.prog.Object(f.Strings[in.S])
+			if cls == nil {
+				Faultf("new: unknown object %s", f.Strings[in.S])
+			}
+			push(b.create(cls, args))
+		case ir.NewArray:
+			n := popI()
+			if n < 0 {
+				Faultf("negative array length")
+			}
+			a := &Array{Elems: make([]any, n)}
+			for i := range a.Elems {
+				a.Elems[i] = zeroVK(in.K)
+			}
+			push(a)
+		case ir.SysPrint:
+			kinds := f.Strings[in.S]
+			argc := int(in.A)
+			parts := make([]string, argc)
+			for i := argc - 1; i >= 0; i-- {
+				parts[i] = formatBC(kinds[i], pop())
+			}
+			b.rt.Print(strings.Join(parts, ""))
+		case ir.SysNodes:
+			push(int32(1))
+		case ir.SysThisNode:
+			push(NodeVal(0))
+		case ir.SysNodeAt:
+			if i := popI(); i != 0 {
+				Faultf("node(%d) out of range", i)
+			}
+			push(NodeVal(0))
+		case ir.SysTimeMS:
+			push(int32(b.rt.Steps / 20000))
+		case ir.SysYield:
+			b.rt.Yield()
+		case ir.SysStrOf:
+			push(formatBC(f.Strings[in.S][0], pop()))
+		case ir.SysConcat:
+			y, x := pop().(string), pop().(string)
+			push(x + y)
+		case ir.SysMove, ir.SysFix, ir.SysRefix:
+			pop()
+			pop() // single node: no-ops
+		case ir.SysUnfix:
+			pop()
+		case ir.SysLocate:
+			pop()
+			push(NodeVal(0))
+		case ir.SysWait:
+			k := popI()
+			b.rt.Wait(&self.Object, int(k))
+		case ir.SysSignal:
+			k := popI()
+			b.rt.Signal(&self.Object, int(k))
+		default:
+			Faultf("bytecode: unimplemented op %v", in.Op)
+		}
+	}
+}
+
+func (b *Bytecode) asArray(v any) *Array {
+	a, ok := v.(*Array)
+	if !ok {
+		Faultf("expected an array, got %T", v)
+	}
+	return a
+}
+
+// formatBC renders a value per the print kind letter (matching the native
+// kernel's formatting).
+func formatBC(letter byte, v any) string {
+	switch letter {
+	case 'b':
+		// Booleans are integers at the IR level.
+		return FormatValue(AsInt(v) != 0)
+	case 'n':
+		return FormatValue(NodeVal(AsInt(v)))
+	case 'p':
+		if v == nil {
+			return "nil"
+		}
+		if o, ok := v.(*bcObject); ok {
+			return "<" + o.ir.Name + ">"
+		}
+		return FormatValue(v)
+	default:
+		return FormatValue(v)
+	}
+}

@@ -1,0 +1,287 @@
+// Package interp implements the two machine-independent execution levels of
+// the paper's thread-state specialization hierarchy (Figure 2): a
+// source-level AST interpreter and a byte-code interpreter over the IR. The
+// bottom (native) level is the compiled code running on the simulated ISAs
+// in internal/kernel.
+//
+// Both interpreters are single-node — like BC-Emerald, the "newer but
+// non-distributed byte-coded version" the paper mentions (§3.7) — and share
+// this runtime: dynamically typed values, objects, arrays, monitors with
+// condition queues, and a deterministic cooperative scheduler. They exist
+// to reproduce Figure 2 (execution lower in the hierarchy is faster) and to
+// serve as a differential oracle for the native pipeline: any single-node
+// program must print the same lines on all three levels.
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/lang/ast"
+)
+
+// NodeVal is the runtime representation of a Node value.
+type NodeVal int32
+
+// CondVal is the runtime representation of a Condition value.
+type CondVal int32
+
+// Object is a runtime object instance.
+type Object struct {
+	Decl *ast.ObjectDecl
+	Vars []any
+	// Monitor state.
+	holder *Thread
+	entry  []*Thread
+	conds  [][]*Thread
+}
+
+// Array is a runtime array.
+type Array struct{ Elems []any }
+
+// Thread is one cooperative thread.
+type Thread struct {
+	id      int
+	run     func(*Thread) // body; executed by the scheduler
+	blocked bool
+	dead    bool
+	// resume is signalled to let the thread continue; yielded is signalled
+	// by the thread when it hands control back.
+	resume  chan struct{}
+	yielded chan struct{}
+}
+
+// Fault aborts a thread with a runtime error.
+type Fault struct{ Msg string }
+
+func (f *Fault) Error() string { return f.Msg }
+
+// Faultf panics with a runtime fault (caught per thread).
+func Faultf(format string, args ...any) {
+	panic(&Fault{Msg: fmt.Sprintf(format, args...)})
+}
+
+// RT is the shared single-node runtime.
+type RT struct {
+	Output  []string
+	Faults  []string
+	Steps   uint64 // abstract work units (for pseudo-time)
+	threads []*Thread
+	runq    []*Thread
+	cur     *Thread
+	nextID  int
+}
+
+// NewRT returns an empty runtime.
+func NewRT() *RT { return &RT{} }
+
+// Print appends a line of output.
+func (rt *RT) Print(s string) { rt.Output = append(rt.Output, s) }
+
+// Spawn registers a new thread executing body.
+func (rt *RT) Spawn(body func(*Thread)) *Thread {
+	rt.nextID++
+	t := &Thread{
+		id: rt.nextID, run: body,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	rt.threads = append(rt.threads, t)
+	rt.runq = append(rt.runq, t)
+	return t
+}
+
+// Yield hands control back to the scheduler and requeues the thread.
+func (rt *RT) Yield() {
+	t := rt.cur
+	rt.runq = append(rt.runq, t)
+	rt.pause(t)
+}
+
+// block suspends the current thread without requeueing it.
+func (rt *RT) block() {
+	t := rt.cur
+	t.blocked = true
+	rt.pause(t)
+}
+
+// pause switches to the scheduler and waits to be resumed.
+func (rt *RT) pause(t *Thread) {
+	t.yielded <- struct{}{}
+	<-t.resume
+}
+
+// wake makes t runnable again.
+func (rt *RT) wake(t *Thread) {
+	t.blocked = false
+	rt.runq = append(rt.runq, t)
+}
+
+// Run drives all threads to completion (or deadlock), deterministically:
+// strictly one thread executes at a time, scheduled FIFO.
+func (rt *RT) Run() {
+	for len(rt.runq) > 0 {
+		t := rt.runq[0]
+		rt.runq = rt.runq[1:]
+		if t.dead || t.blocked {
+			continue
+		}
+		rt.cur = t
+		if t.run != nil {
+			// First activation: start the goroutine.
+			body := t.run
+			t.run = nil
+			go func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if f, ok := r.(*Fault); ok {
+							rt.Faults = append(rt.Faults, f.Msg)
+						} else {
+							panic(r)
+						}
+					}
+					t.dead = true
+					t.yielded <- struct{}{}
+				}()
+				body(t)
+			}()
+		} else {
+			t.resume <- struct{}{}
+		}
+		<-t.yielded
+	}
+	rt.cur = nil
+}
+
+// ---------------------------------------------------------------- monitors
+
+// MonEnter acquires obj's monitor for the current thread (blocking).
+func (rt *RT) MonEnter(obj *Object) {
+	if obj.holder == nil {
+		obj.holder = rt.cur
+		return
+	}
+	obj.entry = append(obj.entry, rt.cur)
+	rt.block()
+	// Resumed as holder.
+}
+
+// MonExit releases obj's monitor.
+func (rt *RT) MonExit(obj *Object) {
+	if obj.holder != rt.cur {
+		Faultf("monitor exit by non-holder")
+	}
+	obj.holder = nil
+	if len(obj.entry) > 0 {
+		next := obj.entry[0]
+		obj.entry = obj.entry[1:]
+		obj.holder = next
+		rt.wake(next)
+	}
+}
+
+// Wait releases the monitor and waits on condition k.
+func (rt *RT) Wait(obj *Object, k int) {
+	if obj.holder != rt.cur {
+		Faultf("wait without holding the monitor")
+	}
+	for len(obj.conds) <= k {
+		obj.conds = append(obj.conds, nil)
+	}
+	obj.conds[k] = append(obj.conds[k], rt.cur)
+	cur := rt.cur
+	obj.holder = nil
+	if len(obj.entry) > 0 {
+		next := obj.entry[0]
+		obj.entry = obj.entry[1:]
+		obj.holder = next
+		rt.wake(next)
+	}
+	rt.block()
+	// Mesa semantics: we were moved to the entry queue by Signal and
+	// resumed as holder.
+	_ = cur
+}
+
+// Signal wakes one waiter of condition k (it must reacquire the monitor).
+func (rt *RT) Signal(obj *Object, k int) {
+	if obj.holder != rt.cur {
+		Faultf("signal without holding the monitor")
+	}
+	if len(obj.conds) <= k || len(obj.conds[k]) == 0 {
+		return
+	}
+	w := obj.conds[k][0]
+	obj.conds[k] = obj.conds[k][1:]
+	obj.entry = append(obj.entry, w)
+}
+
+// ---------------------------------------------------------------- values
+
+// FormatValue renders a runtime value like the native kernel's print.
+func FormatValue(v any) string {
+	switch v := v.(type) {
+	case nil:
+		return "nil"
+	case int32:
+		return strconv.Itoa(int(v))
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case float32:
+		return strconv.FormatFloat(float64(v), 'g', -1, 32)
+	case NodeVal:
+		return "node" + strconv.Itoa(int(v))
+	case CondVal:
+		return strconv.Itoa(int(v))
+	case string:
+		return v
+	case *Object:
+		return "<" + v.Decl.Name + ">"
+	case *Array:
+		return "<array>"
+	}
+	return fmt.Sprintf("<%T>", v)
+}
+
+// Truthy converts a runtime bool.
+func Truthy(v any) bool {
+	b, ok := v.(bool)
+	if !ok {
+		Faultf("condition is not a Bool (%T)", v)
+	}
+	return b
+}
+
+// AsInt extracts an integer-like value.
+func AsInt(v any) int32 {
+	switch v := v.(type) {
+	case int32:
+		return v
+	case NodeVal:
+		return int32(v)
+	case CondVal:
+		return int32(v)
+	case bool:
+		if v {
+			return 1
+		}
+		return 0
+	}
+	Faultf("expected Int, got %T", v)
+	return 0
+}
+
+// AsReal extracts a real, widening ints.
+func AsReal(v any) float32 {
+	switch v := v.(type) {
+	case float32:
+		return v
+	case int32:
+		return float32(v)
+	}
+	Faultf("expected Real, got %T", v)
+	return 0
+}

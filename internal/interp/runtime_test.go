@@ -1,0 +1,151 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/lang/ast"
+)
+
+func TestSchedulerFIFOAndDeterminism(t *testing.T) {
+	rt := NewRT()
+	var log []int
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.Spawn(func(th *Thread) {
+			log = append(log, i*10)
+			rt.Yield()
+			log = append(log, i*10+1)
+		})
+	}
+	rt.Run()
+	want := []int{0, 10, 20, 1, 11, 21}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	rt := NewRT()
+	obj := &Object{}
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		rt.Spawn(func(th *Thread) {
+			rt.MonEnter(obj)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			rt.Yield() // try to let others in while holding the monitor
+			inside--
+			rt.MonExit(obj)
+		})
+	}
+	rt.Run()
+	if maxInside != 1 {
+		t.Errorf("monitor admitted %d threads at once", maxInside)
+	}
+}
+
+func TestConditionWaitSignal(t *testing.T) {
+	rt := NewRT()
+	obj := &Object{}
+	var log []string
+	rt.Spawn(func(th *Thread) {
+		rt.MonEnter(obj)
+		log = append(log, "waiter-in")
+		rt.Wait(obj, 0)
+		log = append(log, "waiter-resumed")
+		rt.MonExit(obj)
+	})
+	rt.Spawn(func(th *Thread) {
+		rt.MonEnter(obj)
+		log = append(log, "signaller")
+		rt.Signal(obj, 0)
+		rt.MonExit(obj)
+	})
+	rt.Run()
+	want := []string{"waiter-in", "signaller", "waiter-resumed"}
+	if len(log) != 3 || log[0] != want[0] || log[1] != want[1] || log[2] != want[2] {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+func TestSignalWithoutWaiterIsNoop(t *testing.T) {
+	rt := NewRT()
+	obj := &Object{}
+	rt.Spawn(func(th *Thread) {
+		rt.MonEnter(obj)
+		rt.Signal(obj, 0)
+		rt.Signal(obj, 5) // out-of-range condition index: still a no-op
+		rt.MonExit(obj)
+	})
+	rt.Run()
+	if len(rt.Faults) != 0 {
+		t.Errorf("faults = %v", rt.Faults)
+	}
+}
+
+func TestFaultIsolation(t *testing.T) {
+	rt := NewRT()
+	var survived bool
+	rt.Spawn(func(th *Thread) { Faultf("boom %d", 1) })
+	rt.Spawn(func(th *Thread) { survived = true })
+	rt.Run()
+	if len(rt.Faults) != 1 || rt.Faults[0] != "boom 1" {
+		t.Errorf("faults = %v", rt.Faults)
+	}
+	if !survived {
+		t.Error("second thread did not run after the first faulted")
+	}
+}
+
+func TestMonitorMisuseFaults(t *testing.T) {
+	rt := NewRT()
+	obj := &Object{}
+	rt.Spawn(func(th *Thread) { rt.MonExit(obj) })
+	rt.Spawn(func(th *Thread) { rt.Wait(obj, 0) })
+	rt.Spawn(func(th *Thread) { rt.Signal(obj, 0) })
+	rt.Run()
+	if len(rt.Faults) != 3 {
+		t.Errorf("faults = %v", rt.Faults)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	decl := &ast.ObjectDecl{Name: "Thing"}
+	cases := map[string]any{
+		"nil": nil, "42": int32(42), "true": true, "false": false,
+		"1.5": float32(1.5), "node3": NodeVal(3), "hi": "hi",
+		"<Thing>": &Object{Decl: decl}, "<array>": &Array{},
+	}
+	for want, v := range cases {
+		if got := FormatValue(v); got != want {
+			t.Errorf("FormatValue(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAsIntAndAsReal(t *testing.T) {
+	if AsInt(int32(5)) != 5 || AsInt(true) != 1 || AsInt(false) != 0 ||
+		AsInt(NodeVal(2)) != 2 || AsInt(CondVal(3)) != 3 {
+		t.Error("AsInt conversions wrong")
+	}
+	if AsReal(float32(1.5)) != 1.5 || AsReal(int32(4)) != 4 {
+		t.Error("AsReal conversions wrong")
+	}
+	// Mistyped values fault.
+	rt := NewRT()
+	rt.Spawn(func(th *Thread) { _ = AsInt("not an int") })
+	rt.Spawn(func(th *Thread) { _ = AsReal("nope") })
+	rt.Spawn(func(th *Thread) { _ = Truthy(int32(1)) })
+	rt.Run()
+	if len(rt.Faults) != 3 {
+		t.Errorf("faults = %v", rt.Faults)
+	}
+}

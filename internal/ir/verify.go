@@ -1,0 +1,224 @@
+// IR verification and evaluation-stack analysis.
+//
+// Analyze computes, for every instruction, the kinds of the values on the
+// evaluation stack before the instruction executes. This is the static
+// information the paper's compiler captures per bus stop: "the number and
+// types of temporary variables in use" (§3.3). The per-ISA back ends embed
+// the result in the bus-stop tables; the kernel uses it to convert live
+// temporaries between machine-dependent and machine-independent formats.
+
+package ir
+
+import "fmt"
+
+// FuncInfo is the result of analyzing one function.
+type FuncInfo struct {
+	// StackIn[i] holds the evaluation-stack kinds before instruction i
+	// (bottom first). nil marks unreachable instructions.
+	StackIn [][]VK
+	// Reach[i] reports whether instruction i is reachable.
+	Reach []bool
+	// MaxStack is the deepest evaluation stack at any point.
+	MaxStack int
+}
+
+// Analyze verifies f against the program and object layouts and returns the
+// stack maps. objKinds is the data-area layout of the object owning f.
+func Analyze(f *Func, objKinds []VK) (*FuncInfo, error) {
+	n := len(f.Code)
+	if n == 0 || f.Code[n-1].Op != Ret && f.Code[n-1].Op != Jump {
+		return nil, fmt.Errorf("%s: function must end in ret or jump", f.Name)
+	}
+	info := &FuncInfo{StackIn: make([][]VK, n), Reach: make([]bool, n)}
+	type workItem struct {
+		pc    int
+		stack []VK
+	}
+	work := []workItem{{0, nil}}
+	errf := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("%s@%d (%s): %s", f.Name, pc, f.Code[pc], fmt.Sprintf(format, args...))
+	}
+	sameStack := func(a, b []VK) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, stack := it.pc, it.stack
+		for {
+			if pc < 0 || pc >= n {
+				return nil, fmt.Errorf("%s: control flows to invalid pc %d", f.Name, pc)
+			}
+			if info.Reach[pc] {
+				if !sameStack(info.StackIn[pc], stack) {
+					return nil, errf(pc, "stack mismatch at join: %v vs %v", info.StackIn[pc], stack)
+				}
+				break
+			}
+			info.Reach[pc] = true
+			info.StackIn[pc] = append([]VK(nil), stack...)
+			if len(stack) > info.MaxStack {
+				info.MaxStack = len(stack)
+			}
+			i := f.Code[pc]
+			pop, _ := StackEffect(i)
+			if len(stack) < pop {
+				return nil, errf(pc, "stack underflow: have %d, need %d", len(stack), pop)
+			}
+			popped := stack[len(stack)-pop:]
+			stack = stack[:len(stack)-pop]
+			if err := checkPops(f, i, popped); err != nil {
+				return nil, errf(pc, "%v", err)
+			}
+			// Pushes.
+			switch i.Op {
+			case PushInt:
+				stack = append(stack, VKInt)
+			case PushReal:
+				stack = append(stack, VKReal)
+			case PushStr, PushNil, PushSelf, SysConcat, SysStrOf, New, NewArray:
+				stack = append(stack, VKPtr)
+			case LoadVar:
+				if int(i.A) >= len(f.VarKinds) {
+					return nil, errf(pc, "variable %d out of range", i.A)
+				}
+				stack = append(stack, f.VarKinds[i.A])
+			case StoreVar:
+				if int(i.A) >= len(f.VarKinds) {
+					return nil, errf(pc, "variable %d out of range", i.A)
+				}
+				if popped[0] != f.VarKinds[i.A] {
+					return nil, errf(pc, "stores %v into %v slot", popped[0], f.VarKinds[i.A])
+				}
+			case LoadMine:
+				if int(i.A) >= len(objKinds) {
+					return nil, errf(pc, "object slot %d out of range", i.A)
+				}
+				stack = append(stack, objKinds[i.A])
+			case StoreMine:
+				if int(i.A) >= len(objKinds) {
+					return nil, errf(pc, "object slot %d out of range", i.A)
+				}
+				if popped[0] != objKinds[i.A] {
+					return nil, errf(pc, "stores %v into %v object slot", popped[0], objKinds[i.A])
+				}
+			case AddI, SubI, MulI, DivI, ModI, NegI, AbsI, NotB, AndB, OrB,
+				CmpI, CmpR, CmpS, CmpP, SLen, SIndex, ALen,
+				SysNodes, SysThisNode, SysNodeAt, SysTimeMS, SysLocate:
+				stack = append(stack, VKInt)
+			case AddR, SubR, MulR, DivR, NegR, CvtIR:
+				stack = append(stack, VKReal)
+			case ALoad:
+				stack = append(stack, i.K)
+			case Call:
+				stack = append(stack, i.K)
+			}
+			// Control flow.
+			switch i.Op {
+			case Ret:
+				if len(stack) != 0 {
+					return nil, errf(pc, "ret with %d values on stack", len(stack))
+				}
+				goto nextWork
+			case Jump:
+				pc = int(i.A)
+			case BrFalse, BrTrue:
+				work = append(work, workItem{int(i.A), append([]VK(nil), stack...)})
+				pc++
+			default:
+				pc++
+			}
+		}
+	nextWork:
+	}
+	return info, nil
+}
+
+// checkPops validates the kinds of popped operands for operations with a
+// fixed signature. popped is ordered bottom-to-top.
+func checkPops(f *Func, i Instr, popped []VK) error {
+	want := func(kinds ...VK) error {
+		for j, k := range kinds {
+			if popped[j] != k {
+				return fmt.Errorf("operand %d is %v, want %v (%v)", j, popped[j], k, popped)
+			}
+		}
+		return nil
+	}
+	switch i.Op {
+	case AddI, SubI, MulI, DivI, ModI, AndB, OrB, CmpI:
+		return want(VKInt, VKInt)
+	case AddR, SubR, MulR, DivR, CmpR:
+		return want(VKReal, VKReal)
+	case NegI, AbsI, NotB, CvtIR, BrFalse, BrTrue, SysNodeAt, SysWait, SysSignal:
+		return want(VKInt)
+	case NegR:
+		return want(VKReal)
+	case CmpS, SysConcat:
+		return want(VKPtr, VKPtr)
+	case CmpP:
+		if int(i.A) != CmpEQ && int(i.A) != CmpNE {
+			return fmt.Errorf("pointer comparison must be eq/ne")
+		}
+		return want(VKPtr, VKPtr)
+	case SLen, ALen, SysUnfix, SysLocate:
+		return want(VKPtr)
+	case SIndex:
+		return want(VKPtr, VKInt)
+	case ALoad:
+		return want(VKPtr, VKInt)
+	case AStore:
+		if err := want(VKPtr, VKInt); err != nil {
+			return err
+		}
+		if popped[2] != i.K {
+			return fmt.Errorf("stores %v into %v array", popped[2], i.K)
+		}
+	case NewArray:
+		return want(VKInt)
+	case SysMove, SysFix, SysRefix:
+		return want(VKPtr, VKInt)
+	case Call:
+		// Receiver is below the arguments.
+		if popped[0] != VKPtr {
+			return fmt.Errorf("call receiver is %v, want pointer", popped[0])
+		}
+	case StoreVar, StoreMine, Drop, SysPrint, SysStrOf, New:
+		// Kind-generic; StoreVar/StoreMine checked by caller.
+	}
+	return nil
+}
+
+// AnalyzeProgram analyzes every function of every object, returning the
+// FuncInfo keyed by function. It fails on the first invalid function.
+func AnalyzeProgram(p *Program) (map[*Func]*FuncInfo, error) {
+	out := make(map[*Func]*FuncInfo)
+	for _, o := range p.Objects {
+		for _, f := range o.Funcs {
+			fi, err := Analyze(f, o.VarKinds)
+			if err != nil {
+				return nil, err
+			}
+			out[f] = fi
+		}
+	}
+	return out, nil
+}
+
+// Dump renders a function's code for debugging and golden tests.
+func Dump(f *Func) string {
+	s := fmt.Sprintf("func %s params=%d results=%d vars=%d monitored=%v\n",
+		f.Name, f.NumParams, f.NumResults, f.NumVars, f.Monitored)
+	for i, in := range f.Code {
+		s += fmt.Sprintf("  %3d: %s\n", i, in)
+	}
+	return s
+}

@@ -1,0 +1,508 @@
+// Node state: simulated memory, heap allocation, code loading and literal
+// interning, the object table, and the cooperative scheduler.
+
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/netsim"
+	"repro/internal/oid"
+	"repro/internal/wire"
+)
+
+// loadedCode is one code object loaded on one node.
+type loadedCode struct {
+	oc    *codegen.ObjectCode
+	ac    *codegen.ArchCode
+	funcs []*loadedFunc
+}
+
+// loadedFunc is one loaded function: code, templates, bus stops, and the
+// node-local descriptor index and literal table.
+type loadedFunc struct {
+	code    *loadedCode
+	fc      *codegen.FuncCode
+	idx     int
+	desc    uint32 // node-local code descriptor (stored in AR RetDesc words)
+	litBase uint32 // address of the literal table (one ref word per string)
+}
+
+func (lf *loadedFunc) name() string { return lf.fc.Name }
+
+// Return-descriptor encoding: the low 31 bits are the caller's code
+// descriptor, or descNone when the caller is not a local activation (a
+// thread root, a remote caller addressed by the fragment's Link, or a
+// bootstrap). The kontFlag bit requests a kernel continuation after the
+// frame pops (object-creation chains).
+const (
+	descNone = 0x7fffffff
+	kontFlag = 0x80000000
+)
+
+// Node is one simulated workstation.
+type Node struct {
+	cluster *Cluster
+	ID      int
+	Model   netsim.MachineModel
+	Spec    *arch.Spec
+	CPU     netsim.CPU
+	Mem     []byte
+
+	heapNext uint32
+
+	objects map[oid.OID]*Obj
+	byAddr  map[uint32]*Obj
+	table   []*Obj
+
+	frags   map[uint32]*Frag
+	fragCtr uint32
+	oidCtr  uint32
+	runq    []*Frag
+	schedOn bool
+
+	codeByOID map[oid.OID]*loadedCode
+	descs     []*loadedFunc
+
+	// movedFrags forwards late messages for fragments that migrated away.
+	movedFrags map[uint32]int
+	// exported pins objects whose OIDs have crossed the network (a remote
+	// node may hold references; local GC must not reclaim them).
+	exported map[oid.OID]bool
+	// freeLists holds reclaimed heap blocks by size.
+	freeLists map[uint32][]uint32
+	inGC      bool
+	// pendingMoves are migrations deferred because an activation was part
+	// of an active object-creation chain.
+	pendingMoves []pendingMove
+
+	callConv  *wire.CallConverter
+	batchConv *wire.BatchedConverter
+	rawConv   *wire.RawConverter
+
+	// Stats.
+	MsgsSent, MsgsRecv uint64
+	Instrs             uint64
+	Migrations         uint64
+	// ProtoConvCalls counts the network-format layer's per-byte conversion
+	// procedure calls (§3.6) made by this node.
+	ProtoConvCalls uint64
+}
+
+func newNode(c *Cluster, id int, m netsim.MachineModel) *Node {
+	spec := arch.SpecOf(arch.ID(m.Arch))
+	if c.SpecOverride != nil {
+		spec = c.SpecOverride(arch.ID(m.Arch))
+	}
+	n := &Node{
+		cluster:    c,
+		ID:         id,
+		Model:      m,
+		Spec:       spec,
+		CPU:        netsim.CPU{MHz: m.MHz},
+		Mem:        make([]byte, c.MemBytes),
+		heapNext:   64, // address 0 is nil; low words reserved
+		objects:    map[oid.OID]*Obj{},
+		byAddr:     map[uint32]*Obj{},
+		frags:      map[uint32]*Frag{},
+		codeByOID:  map[oid.OID]*loadedCode{},
+		movedFrags: map[uint32]int{},
+		exported:   map[oid.OID]bool{},
+		callConv:   wire.NewCallConverter(),
+		batchConv:  wire.NewBatchedConverter(),
+		rawConv:    wire.NewRawConverter(),
+	}
+	return n
+}
+
+// now returns the current simulated time.
+func (n *Node) now() netsim.Micros { return n.cluster.Sim.Now() }
+
+// charge accounts CPU cycles.
+func (n *Node) charge(cycles uint64) { n.CPU.Charge(n.now(), cycles) }
+
+// ---------------------------------------------------------------- memory
+
+// alloc carves size bytes (word aligned) from the heap, reusing reclaimed
+// blocks and falling back to a garbage collection before giving up.
+func (n *Node) alloc(size uint32) (uint32, error) {
+	size = (size + 3) &^ 3
+	if blocks := n.freeLists[size]; len(blocks) > 0 {
+		a := blocks[len(blocks)-1]
+		n.freeLists[size] = blocks[:len(blocks)-1]
+		for i := a; i < a+size; i++ {
+			n.Mem[i] = 0
+		}
+		return a, nil
+	}
+	if int(n.heapNext)+int(size) > len(n.Mem) {
+		if !n.inGC {
+			n.inGC = true
+			_, err := n.Collect()
+			n.inGC = false
+			if err == nil {
+				if blocks := n.freeLists[size]; len(blocks) > 0 {
+					return n.alloc(size)
+				}
+			}
+		}
+		return 0, fmt.Errorf("node %d: out of memory (%d bytes requested)", n.ID, size)
+	}
+	a := n.heapNext
+	n.heapNext += size
+	for i := a; i < a+size; i++ {
+		n.Mem[i] = 0
+	}
+	return a, nil
+}
+
+// ld32 / st32 access node memory in the node's byte order.
+func (n *Node) ld32(addr uint32) uint32 {
+	return n.Spec.ByteOrd.Uint32(n.Mem[addr : addr+4])
+}
+
+func (n *Node) st32(addr, v uint32) {
+	n.Spec.ByteOrd.PutUint32(n.Mem[addr:addr+4], v)
+}
+
+// ---------------------------------------------------------------- OIDs
+
+func (n *Node) newOID() oid.OID {
+	n.oidCtr++
+	return oid.ForRuntime(n.ID, n.oidCtr)
+}
+
+// register enters an object into the table and writes its header word.
+func (n *Node) register(o *Obj) {
+	o.TableIdx = uint32(len(n.table))
+	n.table = append(n.table, o)
+	n.objects[o.OID] = o
+	if o.Resident {
+		n.byAddr[o.Addr] = o
+		n.st32(o.Addr, o.TableIdx)
+	}
+}
+
+// objAt resolves a local data address to its object.
+func (n *Node) objAt(addr uint32) (*Obj, error) {
+	if o, ok := n.byAddr[addr]; ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("node %d: address %#x is not an object", n.ID, addr)
+}
+
+// proxyFor returns the local entry for an OID, creating a proxy with the
+// given location hint when the object is unknown here. Existing entries
+// keep their own (epoch-stamped) knowledge: hints carry no epoch and must
+// not regress it.
+func (n *Node) proxyFor(id oid.OID, hint int) *Obj {
+	if o, ok := n.objects[id]; ok {
+		return o
+	}
+	o := &Obj{OID: id, Resident: false, LastKnown: hint}
+	n.register(o)
+	return o
+}
+
+// refToAddr returns the machine word for a reference to o (its local data
+// address; proxies have no address, so resident objects only — callers use
+// ensureAddressable for proxies).
+func (n *Node) ensureAddressable(o *Obj) (uint32, error) {
+	if o.Resident {
+		return o.Addr, nil
+	}
+	// Proxies are addressable too: they get a one-word data area whose
+	// header points at the table entry, so machine code can hold and pass
+	// the reference; any operation on it traps to the kernel, which sees
+	// the proxy and goes remote.
+	a, err := n.alloc(arch.HeaderBytes)
+	if err != nil {
+		return 0, err
+	}
+	o.Addr = a
+	n.byAddr[a] = o
+	n.st32(a, o.TableIdx)
+	return a, nil
+}
+
+// ---------------------------------------------------------------- code
+
+// loadCode ensures the code object is loaded locally (the NFS fetch),
+// charging the fetch latency on cold loads.
+func (n *Node) loadCode(code oid.OID) (*loadedCode, error) {
+	if lc, ok := n.codeByOID[code]; ok {
+		return lc, nil
+	}
+	oc, ac, lat, err := n.cluster.CodeSrv.Fetch(code, n.Spec.ID)
+	if err != nil {
+		return nil, err
+	}
+	n.CPU.FreeAt += lat // NFS round trip stalls the node
+	lc := &loadedCode{oc: oc, ac: ac}
+	for i, fc := range ac.Funcs {
+		lf := &loadedFunc{code: lc, fc: fc, idx: i, desc: uint32(len(n.descs))}
+		// Literal table: one word per string-pool entry, holding a
+		// reference to the interned string object.
+		base, err := n.alloc(uint32(4 * max(1, len(fc.Strings))))
+		if err != nil {
+			return nil, err
+		}
+		lf.litBase = base
+		for si, s := range fc.Strings {
+			sobj, err := n.newString([]byte(s))
+			if err != nil {
+				return nil, err
+			}
+			n.st32(base+uint32(4*si), sobj.Addr)
+		}
+		n.descs = append(n.descs, lf)
+		lc.funcs = append(lc.funcs, lf)
+	}
+	n.codeByOID[code] = lc
+	return lc, nil
+}
+
+func (n *Node) funcByDesc(desc uint32) (*loadedFunc, error) {
+	if int(desc) >= len(n.descs) {
+		return nil, fmt.Errorf("node %d: bad code descriptor %d", n.ID, desc)
+	}
+	return n.descs[desc], nil
+}
+
+// ---------------------------------------------------------------- heap objects
+
+// newString allocates an immutable string object.
+func (n *Node) newString(b []byte) (*Obj, error) {
+	a, err := n.alloc(arch.ArrDataOff + uint32(len(b)))
+	if err != nil {
+		return nil, err
+	}
+	n.st32(a+arch.LenOff, uint32(len(b)))
+	copy(n.Mem[a+arch.ArrDataOff:], b)
+	o := &Obj{OID: n.newOID(), Kind: ObjString, Resident: true, Addr: a, Len: uint32(len(b))}
+	n.register(o)
+	return o, nil
+}
+
+// stringBytes reads a resident string object's bytes.
+func (n *Node) stringBytes(o *Obj) []byte {
+	return n.Mem[o.Addr+arch.ArrDataOff : o.Addr+arch.ArrDataOff+o.Len]
+}
+
+// newArray allocates an array object.
+func (n *Node) newArray(elem ir.VK, length uint32) (*Obj, error) {
+	if length > 1<<20 {
+		return nil, fmt.Errorf("node %d: array length %d too large", n.ID, length)
+	}
+	a, err := n.alloc(arch.ArrDataOff + 4*length)
+	if err != nil {
+		return nil, err
+	}
+	n.st32(a+arch.LenOff, length)
+	o := &Obj{OID: n.newOID(), Kind: ObjArray, Resident: true, Addr: a,
+		ElemKind: elem, Len: length}
+	n.register(o)
+	return o, nil
+}
+
+// newPlain allocates a plain object instance of lc with zeroed slots.
+func (n *Node) newPlain(lc *loadedCode) (*Obj, error) {
+	tmpl := lc.oc.Template
+	a, err := n.alloc(arch.ObjDataOff + uint32(tmpl.DataSize()))
+	if err != nil {
+		return nil, err
+	}
+	o := &Obj{OID: n.newOID(), Kind: ObjPlain, Resident: true, Addr: a, Code: lc,
+		Mon: newMonitor(tmpl.NumConds)}
+	n.register(o)
+	return o, nil
+}
+
+// slotAddr returns the address of data slot i of a plain object or array
+// element i.
+func (o *Obj) slotAddr(i int) uint32 {
+	if o.Kind == ObjPlain {
+		return o.Addr + arch.ObjDataOff + uint32(4*i)
+	}
+	return o.Addr + arch.ArrDataOff + uint32(4*i)
+}
+
+// ---------------------------------------------------------------- bootstrap
+
+// bootstrap creates the root instance of the named object (which has a
+// process section) on this node.
+func (n *Node) bootstrap(objName string) {
+	oc := n.cluster.Prog.Object(objName)
+	f := n.newFrag()
+	f.Status = FragStateReady
+	n.createObject(f, oc.CodeOID, nil, func(obj *Obj) {
+		// The bootstrap fragment's work is done; it has no frames left and
+		// dies when the creation chain completes.
+		n.killFrag(f)
+	})
+	n.schedule()
+}
+
+// ---------------------------------------------------------------- scheduler
+
+// enqueue makes a fragment runnable.
+func (n *Node) enqueue(f *Frag) {
+	f.Status = FragStateReady
+	if f.queued {
+		return
+	}
+	f.queued = true
+	n.runq = append(n.runq, f)
+	n.schedule()
+}
+
+// schedule arranges a scheduler pass if work is pending.
+func (n *Node) schedule() {
+	if n.schedOn || len(n.runq) == 0 {
+		return
+	}
+	n.schedOn = true
+	delay := n.CPU.FreeAt - n.now()
+	n.cluster.Sim.At(delay, n.schedPass)
+}
+
+// schedPass runs one scheduling slice.
+func (n *Node) schedPass() {
+	n.schedOn = false
+	if len(n.runq) == 0 {
+		return
+	}
+	f := n.runq[0]
+	n.runq = n.runq[1:]
+	f.queued = false
+	if f.Status != FragStateReady {
+		// Killed or blocked while queued.
+		n.schedule()
+		return
+	}
+	n.runSlice(f)
+	n.schedule()
+}
+
+// runSlice executes f until it traps into the kernel (handling atomic
+// monitor exits inline) or the slice budget expires.
+func (n *Node) runSlice(f *Frag) {
+	f.Status = FragStateRunning
+	for {
+		f.CPU.Preempt = len(n.runq) > 0
+		tr, cycles, instrs, err := arch.Run(n.Spec, &f.CPU, f.fn.fc.Code, n.Mem, n.cluster.SliceInstrs)
+		n.charge(cycles)
+		n.Instrs += uint64(instrs)
+		if err != nil {
+			// Simulator-internal failure: record and kill the thread.
+			n.fault(f, fmt.Sprintf("internal: %v", err))
+			return
+		}
+		if tr == nil {
+			// Budget expired without a trap: requeue.
+			if f.Status == FragStateRunning {
+				n.enqueue(f)
+			}
+			return
+		}
+		resume := n.handleTrap(f, tr)
+		if !resume {
+			return
+		}
+	}
+}
+
+// fault kills a thread with a runtime error, releasing any held monitor.
+func (n *Node) fault(f *Frag, msg string) {
+	n.cluster.Faults = append(n.cluster.Faults, Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg})
+	n.cluster.trace("node%d frag%08x FAULT: %s", n.ID, f.ID, msg)
+	// Propagate to a remote caller if one is waiting.
+	if f.Link.Node >= 0 {
+		n.sendMsg(int(f.Link.Node), &wire.Return{
+			Origin: int32(n.ID), CallerFrag: f.Link.Frag, Ok: false, FaultMsg: msg,
+		})
+	}
+	n.releaseMonitorsOf(f)
+	n.killFrag(f)
+}
+
+// killFrag removes a fragment and reclaims its stack region (each live
+// fragment owns exactly one region; split remainders are relocated into
+// fresh regions by adoptRemainder).
+func (n *Node) killFrag(f *Frag) {
+	f.Status = FragStateDead
+	delete(n.frags, f.ID)
+	n.free(f.stackBase, n.cluster.StackSize)
+}
+
+// releaseMonitorsOf force-releases any monitor held by f (fault cleanup).
+func (n *Node) releaseMonitorsOf(f *Frag) {
+	for _, o := range n.objects {
+		if o.Mon != nil && o.Mon.Holder == f {
+			n.monRelease(o)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- messaging
+
+// protoConvCharge accounts the enhanced system's network-format conversion
+// layer: 1-2 conversion-procedure calls per payload byte at each end of a
+// converting transfer (§3.6). The original system and the homogeneous fast
+// path skip it; the batched converter halves the density.
+func (n *Node) protoConvCharge(peer int, bytes int) {
+	density := uint64(n.cluster.Costs.ConvCallsPerKB)
+	switch n.cluster.Mode {
+	case ModeOriginal:
+		return
+	case ModeEnhancedFastPath:
+		if n.cluster.Nodes[peer].Spec.ID == n.Spec.ID {
+			return
+		}
+	case ModeEnhancedBatched:
+		density /= 2
+	}
+	calls := uint64(bytes) * density / 1024
+	n.ProtoConvCalls += calls
+	cycles := float64(calls*uint64(n.cluster.Costs.ConvCallCycles)) * n.Model.ConvFactor()
+	n.charge(uint64(cycles))
+}
+
+// sendMsg serializes and transmits a protocol message, charging the sender.
+func (n *Node) sendMsg(dst int, p wire.Payload) {
+	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.cluster.nextSeq(), Payload: p}
+	buf := m.Marshal()
+	n.charge(uint64(n.cluster.Costs.SendCycles) +
+		uint64(n.cluster.Costs.PerByteCycles)*uint64(len(buf)))
+	n.protoConvCharge(dst, len(buf))
+	n.MsgsSent++
+	n.cluster.trace("node%d -> node%d %s (%d bytes)", n.ID, dst, p.Kind(), len(buf))
+	// Transmission starts once the CPU has finished marshalling.
+	if err := n.cluster.Net.Send(n.ID, dst, buf, n.CPU.FreeAt); err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
+}
+
+// deliver is the network receive handler.
+func (n *Node) deliver(src int, buf []byte) {
+	n.charge(uint64(n.cluster.Costs.RecvCycles) +
+		uint64(n.cluster.Costs.PerByteCycles)*uint64(len(buf)))
+	n.protoConvCharge(src, len(buf))
+	n.MsgsRecv++
+	m, err := wire.Unmarshal(buf)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: node %d: bad message from %d: %v", n.ID, src, err))
+	}
+	n.cluster.trace("node%d <- node%d %s", n.ID, src, m.Payload.Kind())
+	n.handleMsg(int(m.Src), m.Payload)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+// Package lexer converts Emerald-subset source text into tokens.
+//
+// Comments run from "//" to end of line ("%" is the modulo operator, unlike
+// classic Emerald where it introduced comments). String literals use double
+// quotes with \n \t \" \\ escapes.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/token"
+)
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans one source file.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next unread char
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		kind := token.Lookup(lit)
+		if kind == token.Ident {
+			return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: kind, Pos: pos}
+	case isDigit(c):
+		return l.number(pos)
+	case c == '"':
+		return l.stringLit(pos)
+	}
+	two := func(second byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+	switch c {
+	case '<':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.Assign, Pos: pos}
+		}
+		return two('=', token.Le, token.Lt)
+	case '>':
+		return two('=', token.Ge, token.Gt)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.Eq, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '='; assignment is '<-', equality is '=='")
+		return token.Token{Kind: token.Illegal, Lit: "=", Pos: pos}
+	case '!':
+		return two('=', token.NotEq, token.Not)
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Arrow, Pos: pos}
+		}
+		return token.Token{Kind: token.Minus, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.Plus, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.Star, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.Slash, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.Percent, Pos: pos}
+	case '&':
+		return token.Token{Kind: token.And, Pos: pos}
+	case '|':
+		return token.Token{Kind: token.Or, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.Dot, Pos: pos}
+	}
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) number(pos token.Pos) token.Token {
+	start := l.off - 1
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	// A real literal requires a digit after the dot, so "3.foo" lexes as
+	// INT DOT IDENT (method call on an integer).
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.Real, Lit: l.src[start:l.off], Pos: pos}
+	}
+	return token.Token{Kind: token.Int, Lit: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) stringLit(pos token.Pos) token.Token {
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.Illegal, Lit: b.String(), Pos: pos}
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return token.Token{Kind: token.String, Lit: b.String(), Pos: pos}
+		case '\n':
+			l.errorf(pos, "newline in string literal")
+			return token.Token{Kind: token.Illegal, Lit: b.String(), Pos: pos}
+		case '\\':
+			if l.off >= len(l.src) {
+				l.errorf(pos, "unterminated string literal")
+				return token.Token{Kind: token.Illegal, Lit: b.String(), Pos: pos}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				l.errorf(pos, "unknown escape \\%c", e)
+				b.WriteByte(e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// All lexes the whole input, returning every token up to and including EOF.
+func All(src string) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := All(src)
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	var ks []token.Kind
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"<-": token.Assign, "->": token.Arrow, "==": token.Eq, "!=": token.NotEq,
+		"<": token.Lt, "<=": token.Le, ">": token.Gt, ">=": token.Ge,
+		"+": token.Plus, "-": token.Minus, "*": token.Star, "/": token.Slash,
+		"%": token.Percent,
+		"&": token.And, "|": token.Or, "!": token.Not,
+		"(": token.LParen, ")": token.RParen, "[": token.LBracket,
+		"]": token.RBracket, ",": token.Comma, ":": token.Colon, ".": token.Dot,
+	}
+	for src, want := range cases {
+		got := kinds(t, src)
+		if got[0] != want {
+			t.Errorf("lex %q = %v, want %v", src, got[0], want)
+		}
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, errs := All("object objects Move move end endx")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	want := []token.Kind{token.KwObject, token.Ident, token.Ident, token.KwMove,
+		token.KwEnd, token.Ident, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := All("0 42 3.14 7.0 5.size")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.Int, "0"}, {token.Int, "42"}, {token.Real, "3.14"},
+		{token.Real, "7.0"}, {token.Int, "5"}, {token.Dot, ""}, {token.Ident, "size"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || (w.lit != "" && toks[i].Lit != w.lit) {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Lit, w.kind, w.lit)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := All(`"hello" "a\nb" "q\"t" "back\\slash" "tab\there"`)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	want := []string{"hello", "a\nb", `q"t`, `back\slash`, "tab\there"}
+	for i, w := range want {
+		if toks[i].Kind != token.String || toks[i].Lit != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	for _, src := range []string{`"abc`, "\"ab\ncd\"", `"bad \q esc"`} {
+		_, errs := All(src)
+		if len(errs) == 0 {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // comment with object end\nb // another\nc")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := All("a\n  bb\n\tc")
+	wantPos := []token.Pos{{Line: 1, Col: 1}, {Line: 2, Col: 3}, {Line: 3, Col: 2}}
+	for i, w := range wantPos {
+		if toks[i].Pos != w {
+			t.Errorf("token %d at %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+}
+
+func TestSingleEquals(t *testing.T) {
+	_, errs := All("a = b")
+	if len(errs) == 0 {
+		t.Fatal("expected error for '='")
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	toks, errs := All("a $ b")
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	if toks[1].Kind != token.Illegal {
+		t.Errorf("token 1 = %v, want Illegal", toks[1].Kind)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("Next() after end = %v, want EOF", tk.Kind)
+		}
+	}
+}
+
+func TestArrowVsMinus(t *testing.T) {
+	got := kinds(t, "a -> b - c -d")
+	want := []token.Kind{token.Ident, token.Arrow, token.Ident, token.Minus,
+		token.Ident, token.Minus, token.Ident, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAssignVsLess(t *testing.T) {
+	got := kinds(t, "a <- b < c <= d")
+	want := []token.Kind{token.Ident, token.Assign, token.Ident, token.Lt,
+		token.Ident, token.Le, token.Ident, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package netsim is a deterministic discrete-event simulation of the
+// prototype's hardware substrate: workstation CPUs of different clock rates
+// connected by a shared 10 Mbit/s Ethernet (Figure 1).
+//
+// Simulated time is in microseconds. Node CPU work is charged in cycles and
+// converted to time through the node's clock rate; the network charges a
+// fixed per-frame latency plus serialized transmission time on the shared
+// medium. All experiment timings (Table 1) are measured in this simulated
+// time, so runs are exactly reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Micros is a simulated time in microseconds.
+type Micros int64
+
+// MS renders a time in milliseconds.
+func (m Micros) MS() float64 { return float64(m) / 1000 }
+
+type event struct {
+	at  Micros
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event queue and clock.
+type Sim struct {
+	now    Micros
+	queue  eventHeap
+	seq    uint64
+	events uint64
+}
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Micros { return s.now }
+
+// Events returns the number of events processed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+// At schedules fn at now+delay (FIFO among equal times).
+func (s *Sim) At(delay Micros, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event; it reports whether one was run.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.events++
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or maxEvents have run.
+// It returns an error if the event budget was exhausted (livelock guard).
+func (s *Sim) Run(maxEvents uint64) error {
+	for i := uint64(0); ; i++ {
+		if i >= maxEvents {
+			return fmt.Errorf("netsim: event budget %d exhausted at t=%v µs", maxEvents, s.now)
+		}
+		if !s.Step() {
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------- CPU model
+
+// CPU models one workstation processor: cycles are charged and converted
+// to simulated time through the clock rate; FreeAt serializes work on the
+// node.
+type CPU struct {
+	MHz    float64
+	FreeAt Micros
+	Cycles uint64 // total cycles charged (for reporting)
+}
+
+// CyclesToMicros converts a cycle count to time on this CPU.
+func (c *CPU) CyclesToMicros(cycles uint64) Micros {
+	return Micros(float64(cycles) / c.MHz)
+}
+
+// Charge accounts cycles of work starting no earlier than `from`, returning
+// the completion time.
+func (c *CPU) Charge(from Micros, cycles uint64) Micros {
+	if c.FreeAt > from {
+		from = c.FreeAt
+	}
+	c.Cycles += cycles
+	c.FreeAt = from + c.CyclesToMicros(cycles)
+	return c.FreeAt
+}
+
+// ---------------------------------------------------------------- network
+
+// Handler receives a delivered frame.
+type Handler func(src int, payload []byte)
+
+// Network models the shared 10 Mbit/s Ethernet: a per-frame latency plus
+// serialized transmission on the single medium, with minimum frame size.
+type Network struct {
+	sim *Sim
+	// BitsPerSecond is the raw medium rate (default 10 Mbit/s).
+	BitsPerSecond float64
+	// LatencyMicros is propagation plus interface latency per frame.
+	LatencyMicros Micros
+	// MinFrameBytes pads small frames (Ethernet minimum 64 bytes).
+	MinFrameBytes int
+	// OverheadBytes is framing overhead added to every payload.
+	OverheadBytes int
+
+	mediumFree Micros
+	handlers   map[int]Handler
+
+	// Counters.
+	Frames     uint64
+	Bytes      uint64
+	PayloadLen uint64
+}
+
+// NewNetwork returns an Ethernet-like network on sim.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{
+		sim:           sim,
+		BitsPerSecond: 10e6,
+		LatencyMicros: 200, // interface + propagation + interrupt latency
+		MinFrameBytes: 64,
+		OverheadBytes: 18 + 20 + 8, // Ethernet + IP + UDP-ish headers
+		handlers:      map[int]Handler{},
+	}
+}
+
+// Attach registers the frame handler for node id.
+func (n *Network) Attach(node int, h Handler) { n.handlers[node] = h }
+
+// Send transmits payload from src to dst. Transmission begins no earlier
+// than `earliest` (the sender's CPU finishing the marshalling work) and
+// after the shared medium frees up; the frame then serializes at the medium
+// rate and the per-frame latency elapses before delivery.
+func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
+	h, ok := n.handlers[dst]
+	if !ok {
+		return fmt.Errorf("netsim: no node %d attached", dst)
+	}
+	size := len(payload) + n.OverheadBytes
+	if size < n.MinFrameBytes {
+		size = n.MinFrameBytes
+	}
+	n.Frames++
+	n.Bytes += uint64(size)
+	n.PayloadLen += uint64(len(payload))
+	xmit := Micros(float64(size*8) / n.BitsPerSecond * 1e6)
+	start := n.sim.Now()
+	if earliest > start {
+		start = earliest
+	}
+	if n.mediumFree > start {
+		start = n.mediumFree
+	}
+	n.mediumFree = start + xmit
+	deliverAt := n.mediumFree + n.LatencyMicros
+	buf := append([]byte(nil), payload...)
+	n.sim.At(deliverAt-n.sim.Now(), func() { h(src, buf) })
+	return nil
+}
+
+// ResetCounters zeroes the traffic counters.
+func (n *Network) ResetCounters() {
+	n.Frames, n.Bytes, n.PayloadLen = 0, 0, 0
+}
+
+// ---------------------------------------------------------------- machines
+
+// MachineModel is a workstation model from the paper's evaluation (§3.6).
+// MHz is an effective rate calibrated so that kernel-side cycle counts
+// reproduce the paper's absolute milliseconds; EXPERIMENTS.md records the
+// calibration. Family groups machines of one workstation type: the
+// original Emerald system supported mobility only within a family.
+type MachineModel struct {
+	Name   string
+	Family string
+	Arch   byte // arch.ID; byte avoids an import cycle
+	MHz    float64
+	// ConvSlowdown scales the cost of network-format conversion routines
+	// on this machine ("depending on the processor type, 2-3 procedure
+	// calls are performed to convert a simple integer value", §3.5 — the
+	// Sun-3's hand-written routines were the slowest). Zero means 1.
+	ConvSlowdown float64
+}
+
+// ConvFactor returns the conversion slowdown (1 when unset).
+func (m MachineModel) ConvFactor() float64 {
+	if m.ConvSlowdown == 0 {
+		return 1
+	}
+	return m.ConvSlowdown
+}
+
+// The paper's machines (§3.6). Sun-3 and the two HP9000/300 models share
+// the M68K ISA and differ only in clock rate; the VAXstation 2000 is the
+// slow VAX the original figures used. Effective MHz values are calibration
+// constants, not nameplate clock rates.
+var (
+	SPARCstationSLC = MachineModel{Name: "SPARCstation SLC", Family: "sparc", Arch: 2, MHz: 20}
+	Sun3_100        = MachineModel{Name: "Sun-3/100", Family: "sun3", Arch: 1, MHz: 11.8, ConvSlowdown: 2.6}
+	HP9000_433s     = MachineModel{Name: "HP9000/400-433s", Family: "hp300", Arch: 1, MHz: 33}
+	HP9000_385      = MachineModel{Name: "HP9000/300-385", Family: "hp300", Arch: 1, MHz: 25}
+	VAXstation2000  = MachineModel{Name: "VAXstation 2000", Family: "vax", Arch: 0, MHz: 9.7}
+)

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var log []int
+	s.At(30, func() { log = append(log, 3) })
+	s.At(10, func() { log = append(log, 1) })
+	s.At(20, func() { log = append(log, 2) })
+	s.At(10, func() { log = append(log, 11) }) // FIFO among equal times
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("order = %v, want %v", log, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("now = %d", s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var at Micros
+	s.At(5, func() {
+		s.At(7, func() { at = s.Now() })
+	})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if at != 12 {
+		t.Errorf("nested event at %d, want 12", at)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	s := NewSim()
+	var loop func()
+	loop = func() { s.At(1, loop) }
+	s.At(0, loop)
+	if err := s.Run(50); err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+}
+
+func TestCPUCharge(t *testing.T) {
+	c := &CPU{MHz: 10} // 10 cycles per microsecond
+	end := c.Charge(0, 100)
+	if end != 10 {
+		t.Errorf("100 cycles at 10MHz = %d µs, want 10", end)
+	}
+	// Work arriving while busy queues behind FreeAt.
+	end = c.Charge(5, 100)
+	if end != 20 {
+		t.Errorf("second charge ends at %d, want 20", end)
+	}
+	// Idle gap: work starts at the request time.
+	end = c.Charge(100, 10)
+	if end != 101 {
+		t.Errorf("third charge ends at %d, want 101", end)
+	}
+	if c.Cycles != 210 {
+		t.Errorf("cycles = %d", c.Cycles)
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	var got []byte
+	var from int
+	var at Micros
+	n.Attach(1, func(src int, p []byte) { got, from, at = p, src, s.Now() })
+	payload := make([]byte, 1000)
+	payload[0] = 42
+	if err := n.Send(0, 1, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got[0] != 42 || from != 0 {
+		t.Fatal("payload not delivered")
+	}
+	// 1046 bytes at 10 Mbit/s = 836.8 µs + 200 µs latency.
+	if at < 1000 || at > 1100 {
+		t.Errorf("delivered at %d µs", at)
+	}
+	if n.Frames != 1 || n.PayloadLen != 1000 {
+		t.Errorf("counters: frames=%d payload=%d", n.Frames, n.PayloadLen)
+	}
+}
+
+func TestNetworkSharedMediumSerializes(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	var times []Micros
+	n.Attach(1, func(int, []byte) { times = append(times, s.Now()) })
+	n.Attach(2, func(int, []byte) { times = append(times, s.Now()) })
+	big := make([]byte, 10000) // 8ms transmission each
+	if err := n.Send(0, 1, big, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(0, 2, big, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatal("missing deliveries")
+	}
+	gap := times[1] - times[0]
+	if gap < 7000 {
+		t.Errorf("medium not serialized: gap %d µs", gap)
+	}
+}
+
+func TestNetworkMinFrame(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	n.Attach(1, func(int, []byte) {})
+	if err := n.Send(0, 1, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Bytes < 64 {
+		t.Errorf("min frame not applied: %d bytes", n.Bytes)
+	}
+	if err := n.Send(0, 9, []byte{1}, 0); err == nil {
+		t.Error("send to unattached node must fail")
+	}
+}
+
+func TestMachineModels(t *testing.T) {
+	models := []MachineModel{SPARCstationSLC, Sun3_100, HP9000_433s, HP9000_385, VAXstation2000}
+	for _, m := range models {
+		if m.MHz <= 0 || m.Name == "" {
+			t.Errorf("bad model %+v", m)
+		}
+	}
+	if HP9000_433s.MHz <= HP9000_385.MHz {
+		t.Error("433s should be faster than 385")
+	}
+	if SPARCstationSLC.MHz <= Sun3_100.MHz {
+		t.Error("SLC should be faster than Sun-3/100")
+	}
+}

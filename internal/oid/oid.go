@@ -1,0 +1,40 @@
+// Package oid defines network-wide unique object identifiers.
+//
+// As in Emerald, every object — including code objects — is named by an OID
+// that is location independent. Code objects compiled for different
+// architectures from the same source share one OID (the OID names the
+// semantic content); the architecture is carried alongside when fetching
+// the machine-specific binary (§3.4). The prototype in the paper required
+// manual OID-counter synchronization; we implement the paper's proposed
+// fix, a program database: the compiler assigns code OIDs deterministically
+// from program structure, so every architecture's compilation agrees.
+package oid
+
+import "fmt"
+
+// OID is a network-unique object identifier. 0 is the nil OID.
+type OID uint32
+
+// Nil is the OID of the nil reference.
+const Nil OID = 0
+
+// String renders the OID.
+func (o OID) String() string {
+	if o == Nil {
+		return "oid(nil)"
+	}
+	return fmt.Sprintf("oid(%d:%d)", uint32(o)>>24, uint32(o)&0xffffff)
+}
+
+// ForCode returns the OID of the code object with the given program index.
+// Code OIDs live in the node-0 space below the runtime allocation floor.
+func ForCode(programIndex int) OID { return OID(programIndex + 1) }
+
+// First runtime OID counter value per node; node n allocates n<<24 | k for
+// k >= RuntimeFloor, so nodes never collide and code OIDs stay distinct.
+const RuntimeFloor = 0x10000
+
+// ForRuntime returns the k'th runtime OID allocated by node n.
+func ForRuntime(node int, k uint32) OID {
+	return OID(uint32(node)<<24 | (RuntimeFloor + k))
+}

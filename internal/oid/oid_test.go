@@ -1,0 +1,39 @@
+package oid
+
+import "testing"
+
+func TestCodeOIDs(t *testing.T) {
+	if ForCode(0) == Nil || ForCode(1) == ForCode(0) {
+		t.Error("code OIDs must be distinct and non-nil")
+	}
+}
+
+func TestRuntimeOIDsDisjointAcrossNodes(t *testing.T) {
+	seen := map[OID]bool{}
+	for node := 0; node < 4; node++ {
+		for k := uint32(1); k < 100; k++ {
+			o := ForRuntime(node, k)
+			if seen[o] {
+				t.Fatalf("collision at node %d k %d", node, k)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestRuntimeOIDsDisjointFromCodeOIDs(t *testing.T) {
+	// Node 0's runtime space starts at the floor, above any plausible
+	// program's code-object count.
+	if ForRuntime(0, 1) <= ForCode(60000) {
+		t.Error("runtime OIDs must sit above code OIDs")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Nil.String() != "oid(nil)" {
+		t.Errorf("nil = %q", Nil.String())
+	}
+	if got := ForRuntime(2, 5).String(); got != "oid(2:65541)" {
+		t.Errorf("oid = %q", got)
+	}
+}

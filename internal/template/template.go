@@ -1,0 +1,149 @@
+// Package template defines the compiler-emitted descriptions of object data
+// areas and activation records that the runtime kernel needs to marshal,
+// swizzle, migrate and garbage-collect them (the paper's "templates", §3.2).
+//
+// Object templates are machine-independent: the slot order is fixed by the
+// front end, and only byte order differs between architectures. Activation
+// templates are machine-dependent: each ISA back end assigns its own
+// variable homes (callee-saved registers vs activation-record slots), its
+// own record field order, and its own saved-register area — these are
+// exactly the differences the enhanced runtime converts at migration time.
+package template
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// WordSize is the universal 32-bit word size of the simulated machines.
+const WordSize = 4
+
+// Home describes where one variable of an activation lives for the whole
+// lifetime of the activation (the paper avoids multiple templates per
+// operation by giving every variable a single home, §3.2).
+type Home struct {
+	Name  string
+	Kind  ir.VK
+	InReg bool
+	Reg   byte  // register number when InReg
+	Off   int32 // byte offset from the activation record base otherwise
+}
+
+func (h Home) String() string {
+	if h.InReg {
+		return fmt.Sprintf("%s:%s@r%d", h.Name, h.Kind, h.Reg)
+	}
+	return fmt.Sprintf("%s:%s@fp+%d", h.Name, h.Kind, h.Off)
+}
+
+// Activation describes the layout of one operation's activation record on
+// one architecture. All offsets are byte offsets from the record base (FP).
+type Activation struct {
+	FuncName   string
+	NumParams  int
+	NumResults int
+	NumVars    int // params + results + locals
+	Monitored  bool
+
+	// Fixed control fields. Their order within the record differs per ISA.
+	SavedFPOff  int32 // caller's frame pointer
+	RetDescOff  int32 // caller's code descriptor index
+	RetPCOff    int32 // return program counter (a bus stop PC in the caller)
+	SelfOff     int32 // caller's self reference
+	TempBaseOff int32 // caller's temp-stack base (restored on return)
+
+	// Saved callee-saved registers: the caller's values of the home
+	// registers this operation uses, written by the kernel at call time.
+	SavedRegsOff int32
+	SavedRegs    []byte // register numbers, in the order saved
+
+	// Variable homes, indexed by frame slot.
+	Vars []Home
+
+	// Evaluation-stack (temporary) area.
+	TempOff   int32
+	TempSlots int
+
+	Size int32 // total record size, word aligned
+}
+
+// RegHome returns the home of frame slot v if it is a register home.
+func (a *Activation) RegHome(v int) (byte, bool) {
+	h := a.Vars[v]
+	return h.Reg, h.InReg
+}
+
+// Validate checks internal consistency (offsets within the record, no
+// overlapping words). It exists so tests can assert that every back end
+// produces well-formed templates.
+func (a *Activation) Validate() error {
+	if a.Size%WordSize != 0 {
+		return fmt.Errorf("%s: size %d not word aligned", a.FuncName, a.Size)
+	}
+	used := map[int32]string{}
+	claim := func(off int32, n int, what string) error {
+		for i := 0; i < n; i++ {
+			o := off + int32(i*WordSize)
+			if o < 0 || o+WordSize > a.Size {
+				return fmt.Errorf("%s: %s at %d outside record of size %d", a.FuncName, what, o, a.Size)
+			}
+			if prev, ok := used[o]; ok {
+				return fmt.Errorf("%s: %s overlaps %s at offset %d", a.FuncName, what, prev, o)
+			}
+			used[o] = what
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		off  int32
+		what string
+	}{
+		{a.SavedFPOff, "savedFP"}, {a.RetDescOff, "retDesc"},
+		{a.RetPCOff, "retPC"}, {a.SelfOff, "self"}, {a.TempBaseOff, "tempBase"},
+	} {
+		if err := claim(c.off, 1, c.what); err != nil {
+			return err
+		}
+	}
+	if err := claim(a.SavedRegsOff, len(a.SavedRegs), "savedRegs"); err != nil {
+		return err
+	}
+	for i, h := range a.Vars {
+		if !h.InReg {
+			if err := claim(h.Off, 1, fmt.Sprintf("var %s", h.Name)); err != nil {
+				return err
+			}
+		}
+		if h.InReg {
+			for j := 0; j < i; j++ {
+				if a.Vars[j].InReg && a.Vars[j].Reg == h.Reg {
+					return fmt.Errorf("%s: vars %s and %s share register %d",
+						a.FuncName, a.Vars[j].Name, h.Name, h.Reg)
+				}
+			}
+		}
+	}
+	if err := claim(a.TempOff, a.TempSlots, "temps"); err != nil {
+		return err
+	}
+	if len(a.Vars) != a.NumVars {
+		return fmt.Errorf("%s: %d homes for %d vars", a.FuncName, len(a.Vars), a.NumVars)
+	}
+	return nil
+}
+
+// Object describes an object's data area. The layout (slot order) is
+// machine-independent; a data area in memory is a header word followed by
+// the slots, stored in the node's byte order.
+type Object struct {
+	Name          string
+	Immutable     bool
+	Slots         []ir.VK
+	SlotNames     []string
+	MonitoredFrom int
+	NumConds      int
+}
+
+// DataSize returns the byte size of the data area excluding the header.
+func (o *Object) DataSize() int32 { return int32(len(o.Slots) * WordSize) }

@@ -1,0 +1,82 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func validAct() *Activation {
+	return &Activation{
+		FuncName: "T.f", NumParams: 1, NumResults: 1, NumVars: 3,
+		SavedFPOff: 0, RetDescOff: 4, RetPCOff: 8, SelfOff: 12, TempBaseOff: 16,
+		SavedRegsOff: 20, SavedRegs: []byte{6, 7},
+		Vars: []Home{
+			{Name: "a", Kind: ir.VKInt, InReg: true, Reg: 6},
+			{Name: "r", Kind: ir.VKPtr, InReg: true, Reg: 7},
+			{Name: "x", Kind: ir.VKReal, Off: 28},
+		},
+		TempOff: 32, TempSlots: 2,
+		Size: 40,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validAct().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Activation)
+		frag string
+	}{
+		{"unaligned", func(a *Activation) { a.Size = 39 }, "word aligned"},
+		{"overlap", func(a *Activation) { a.RetDescOff = 0 }, "overlaps"},
+		{"outside", func(a *Activation) { a.TempOff = 100 }, "outside"},
+		{"varOverlap", func(a *Activation) { a.Vars[2].Off = 4 }, "overlaps"},
+		{"sharedReg", func(a *Activation) { a.Vars[1].Reg = 6 }, "share register"},
+		{"homeCount", func(a *Activation) { a.Vars = a.Vars[:2] }, "homes for"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := validAct()
+			c.mut(a)
+			err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("err = %v, want containing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestRegHome(t *testing.T) {
+	a := validAct()
+	if r, ok := a.RegHome(0); !ok || r != 6 {
+		t.Errorf("var 0 home = %d,%v", r, ok)
+	}
+	if _, ok := a.RegHome(2); ok {
+		t.Error("var 2 should be a memory home")
+	}
+}
+
+func TestHomeString(t *testing.T) {
+	h := Home{Name: "x", Kind: ir.VKReal, InReg: true, Reg: 9}
+	if h.String() != "x:r@r9" {
+		t.Errorf("home = %q", h.String())
+	}
+	h = Home{Name: "y", Kind: ir.VKPtr, Off: 24}
+	if h.String() != "y:p@fp+24" {
+		t.Errorf("home = %q", h.String())
+	}
+}
+
+func TestObjectDataSize(t *testing.T) {
+	o := &Object{Name: "X", Slots: []ir.VK{ir.VKInt, ir.VKPtr, ir.VKReal}}
+	if o.DataSize() != 12 {
+		t.Errorf("data size = %d", o.DataSize())
+	}
+}

@@ -1,0 +1,695 @@
+// Kernel-to-kernel message protocol: remote invocation, returns, object and
+// thread migration, location management. Every message is genuinely
+// serialized to network-format bytes; the byte count drives the Ethernet
+// timing model in netsim.
+
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/oid"
+)
+
+// ---------------------------------------------------------------- enc/dec
+
+// Enc is a network-byte-order (big endian) encoder.
+type Enc struct{ buf []byte }
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Len returns the current size.
+func (e *Enc) Len() int { return len(e.buf) }
+
+// U8 / U16 / U32 / I32 append fixed-width integers.
+func (e *Enc) U8(v byte)    { e.buf = append(e.buf, v) }
+func (e *Enc) U16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
+func (e *Enc) U32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
+
+// Str appends a length-prefixed byte string.
+func (e *Enc) Str(s []byte) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// OID appends an object identifier.
+func (e *Enc) OID(o oid.OID) { e.U32(uint32(o)) }
+
+// Value appends a tagged wire value.
+func (e *Enc) Value(v Value) {
+	e.U8(byte(v.Kind))
+	if v.Kind == WString {
+		e.Str(v.Str)
+		return
+	}
+	e.U32(v.Bits)
+}
+
+// Values appends a counted list of values.
+func (e *Enc) Values(vs []Value) {
+	e.U16(uint16(len(vs)))
+	for _, v := range vs {
+		e.Value(v)
+	}
+}
+
+// Dec decodes network-byte-order buffers. The first error sticks; check
+// Err after decoding.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over buf.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Err returns the sticky error.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("wire: truncated message at offset %d (+%d > %d)", d.off, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 / U16 / U32 / I32 read fixed-width integers.
+func (d *Dec) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// Str reads a length-prefixed byte string.
+func (d *Dec) Str() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint32(len(d.buf)-d.off) {
+		d.err = fmt.Errorf("wire: string length %d exceeds message", n)
+		return nil
+	}
+	return append([]byte(nil), d.take(int(n))...)
+}
+
+// OID reads an object identifier.
+func (d *Dec) OID() oid.OID { return oid.OID(d.U32()) }
+
+// Value reads a tagged wire value.
+func (d *Dec) Value() Value {
+	k := WKind(d.U8())
+	if d.err != nil {
+		return Value{}
+	}
+	if k > WRaw {
+		d.err = fmt.Errorf("wire: bad value kind %d", k)
+		return Value{}
+	}
+	if k == WString {
+		return Value{Kind: k, Str: d.Str()}
+	}
+	return Value{Kind: k, Bits: d.U32()}
+}
+
+// Values reads a counted list of values (nil for an empty list, matching
+// the zero value of the encoding side).
+func (d *Dec) Values() []Value {
+	n := int(d.U16())
+	if n == 0 {
+		return nil
+	}
+	vs := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		vs = append(vs, d.Value())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return vs
+}
+
+// ---------------------------------------------------------------- payloads
+
+// MsgKind identifies a protocol message.
+type MsgKind byte
+
+// Protocol messages.
+const (
+	MInvoke      MsgKind = iota + 1 // start a remote invocation
+	MReturn                         // deliver an invocation result
+	MMoveReq                        // ask the holder of an object to move it
+	MMove                           // the object (and thread fragments) itself
+	MLocate                         // where is OID?
+	MLocateReply                    //
+	MUpdateLoc                      // forwarding hint: OID now lives at node
+	MUnfixReq                       // unfix/refix control for a remote object
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MInvoke:
+		return "invoke"
+	case MReturn:
+		return "return"
+	case MMoveReq:
+		return "movereq"
+	case MMove:
+		return "move"
+	case MLocate:
+		return "locate"
+	case MLocateReply:
+		return "locatereply"
+	case MUpdateLoc:
+		return "updateloc"
+	case MUnfixReq:
+		return "unfixreq"
+	}
+	return fmt.Sprintf("msg(%d)", byte(k))
+}
+
+// Payload is a message body.
+type Payload interface {
+	Kind() MsgKind
+	marshal(e *Enc)
+	unmarshal(d *Dec)
+}
+
+// Msg is one kernel-to-kernel message.
+type Msg struct {
+	Src, Dst int32
+	Seq      uint32
+	Payload  Payload
+}
+
+// Marshal serializes the message to wire bytes.
+func (m *Msg) Marshal() []byte {
+	e := &Enc{}
+	e.U8(byte(m.Payload.Kind()))
+	e.I32(m.Src)
+	e.I32(m.Dst)
+	e.U32(m.Seq)
+	m.Payload.marshal(e)
+	return e.Bytes()
+}
+
+// Unmarshal parses a message.
+func Unmarshal(buf []byte) (*Msg, error) {
+	d := NewDec(buf)
+	k := MsgKind(d.U8())
+	m := &Msg{Src: d.I32(), Dst: d.I32(), Seq: d.U32()}
+	switch k {
+	case MInvoke:
+		m.Payload = &Invoke{}
+	case MReturn:
+		m.Payload = &Return{}
+	case MMoveReq:
+		m.Payload = &MoveReq{}
+	case MMove:
+		m.Payload = &Move{}
+	case MLocate:
+		m.Payload = &Locate{}
+	case MLocateReply:
+		m.Payload = &LocateReply{}
+	case MUpdateLoc:
+		m.Payload = &UpdateLoc{}
+	case MUnfixReq:
+		m.Payload = &UnfixReq{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", k)
+	}
+	m.Payload.unmarshal(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Invoke asks the destination to run an operation on a resident object on
+// behalf of caller fragment (Src, CallerFrag).
+type Invoke struct {
+	Target oid.OID
+	OpName string
+	// Origin is the node hosting CallerFrag. It survives forwarding along
+	// stale location chains (Msg.Src becomes the forwarder), so the Return
+	// finds its way home and converters know which machine produced the
+	// argument values.
+	Origin     int32
+	CallerFrag uint32
+	Args       []Value
+	// Hints carries location hints for argument references.
+	Hints []LocHint
+}
+
+// LocHint tells the receiver where a referenced object was last known to
+// live, so it can build a proxy without a broadcast.
+type LocHint struct {
+	OID  oid.OID
+	Node int32
+}
+
+// Kind implements Payload.
+func (p *Invoke) Kind() MsgKind { return MInvoke }
+
+func (p *Invoke) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.Str([]byte(p.OpName))
+	e.I32(p.Origin)
+	e.U32(p.CallerFrag)
+	e.Values(p.Args)
+	e.U16(uint16(len(p.Hints)))
+	for _, h := range p.Hints {
+		e.OID(h.OID)
+		e.I32(h.Node)
+	}
+}
+
+func (p *Invoke) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.OpName = string(d.Str())
+	p.Origin = d.I32()
+	p.CallerFrag = d.U32()
+	p.Args = d.Values()
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
+	}
+}
+
+// Return delivers the result of a remote invocation to the caller fragment.
+type Return struct {
+	// Origin is the node that produced the result (for format decisions on
+	// raw fast-path values when the Return is forwarded to a migrated
+	// caller).
+	Origin     int32
+	CallerFrag uint32
+	Ok         bool
+	Result     Value
+	FaultMsg   string
+	Hints      []LocHint
+}
+
+// Kind implements Payload.
+func (p *Return) Kind() MsgKind { return MReturn }
+
+func (p *Return) marshal(e *Enc) {
+	e.I32(p.Origin)
+	e.U32(p.CallerFrag)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.Value(p.Result)
+	e.Str([]byte(p.FaultMsg))
+	e.U16(uint16(len(p.Hints)))
+	for _, h := range p.Hints {
+		e.OID(h.OID)
+		e.I32(h.Node)
+	}
+}
+
+func (p *Return) unmarshal(d *Dec) {
+	p.Origin = d.I32()
+	p.CallerFrag = d.U32()
+	p.Ok = d.U8() != 0
+	p.Result = d.Value()
+	p.FaultMsg = string(d.Str())
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
+	}
+}
+
+// MoveReq asks whoever holds Target to move it to Dest (issued when a
+// `move` statement executes on a node where the object is not resident).
+type MoveReq struct {
+	Target oid.OID
+	Dest   int32
+	Fix    bool // also fix the object at Dest
+}
+
+// Kind implements Payload.
+func (p *MoveReq) Kind() MsgKind { return MMoveReq }
+
+func (p *MoveReq) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.I32(p.Dest)
+	if p.Fix {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+func (p *MoveReq) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Dest = d.I32()
+	p.Fix = d.U8() != 0
+}
+
+// UnfixReq unfixes (or refixes at Dest) a remote object.
+type UnfixReq struct {
+	Target oid.OID
+	Refix  bool
+	Dest   int32
+}
+
+// Kind implements Payload.
+func (p *UnfixReq) Kind() MsgKind { return MUnfixReq }
+
+func (p *UnfixReq) marshal(e *Enc) {
+	e.OID(p.Target)
+	if p.Refix {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.I32(p.Dest)
+}
+
+func (p *UnfixReq) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Refix = d.U8() != 0
+	p.Dest = d.I32()
+}
+
+// MIActivation is one activation record in machine-independent form: all
+// variables in canonical slot order regardless of their register/memory
+// homes, the program point as a bus-stop number, and the live temporaries
+// (§3.5: "the new activation record format stored all local variables in
+// the activation record rather than in registers").
+type MIActivation struct {
+	CodeOID   oid.OID
+	FuncIndex uint16
+	Stop      uint16 // bus stop; EntryStop for a not-yet-started activation
+	Vars      []Value
+	Temps     []Value
+}
+
+// EntryStop marks an activation created but not yet started (blocked at
+// monitor entry).
+const EntryStop = 0xffff
+
+func (a *MIActivation) marshal(e *Enc) {
+	e.OID(a.CodeOID)
+	e.U16(a.FuncIndex)
+	e.U16(a.Stop)
+	e.Values(a.Vars)
+	e.Values(a.Temps)
+}
+
+func (a *MIActivation) unmarshal(d *Dec) {
+	a.CodeOID = d.OID()
+	a.FuncIndex = d.U16()
+	a.Stop = d.U16()
+	a.Vars = d.Values()
+	a.Temps = d.Values()
+}
+
+// FragStatus describes how a migrated thread fragment was stopped.
+type FragStatus byte
+
+// Fragment statuses.
+const (
+	FragRunnable     FragStatus = iota // resume at the top activation's stop
+	FragWaitCond                       // waiting on condition CondIndex of the moved object
+	FragBlockedCall                    // awaiting a Return for PendingSeq
+	FragBlockedEntry                   // queued for the moved object's monitor
+)
+
+func (s FragStatus) String() string {
+	switch s {
+	case FragRunnable:
+		return "runnable"
+	case FragWaitCond:
+		return "waitcond"
+	case FragBlockedCall:
+		return "blockedcall"
+	case FragBlockedEntry:
+		return "blockedentry"
+	}
+	return fmt.Sprintf("frag(%d)", byte(s))
+}
+
+// Fragment is a contiguous run of activation records of one thread, moved
+// because every activation belongs to the migrating object. Activations are
+// youngest first. Link points at the stack piece below the oldest
+// activation (another node's fragment), or is zero for a thread root.
+type Fragment struct {
+	FragID    uint32 // new identity, minted by the sender
+	LinkNode  int32
+	LinkFrag  uint32
+	Status    FragStatus
+	CondIndex uint16
+	Executing bool // this piece carries the thread's active top
+	Acts      []MIActivation
+}
+
+func (f *Fragment) marshal(e *Enc) {
+	e.U32(f.FragID)
+	e.I32(f.LinkNode)
+	e.U32(f.LinkFrag)
+	e.U8(byte(f.Status))
+	e.U16(f.CondIndex)
+	if f.Executing {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.U16(uint16(len(f.Acts)))
+	for i := range f.Acts {
+		f.Acts[i].marshal(e)
+	}
+}
+
+func (f *Fragment) unmarshal(d *Dec) {
+	f.FragID = d.U32()
+	f.LinkNode = d.I32()
+	f.LinkFrag = d.U32()
+	f.Status = FragStatus(d.U8())
+	f.CondIndex = d.U16()
+	f.Executing = d.U8() != 0
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		var a MIActivation
+		a.unmarshal(d)
+		if d.Err() != nil {
+			return
+		}
+		f.Acts = append(f.Acts, a)
+	}
+}
+
+// Move carries one migrating object: its identity and code, its converted
+// data area, every thread fragment executing inside it, and the monitor
+// state. ArrayElemKind+ArrayLen describe arrays (which have no code
+// object); for plain objects ArrayLen is ~0.
+type Move struct {
+	Object  oid.OID
+	CodeOID oid.OID
+	// Epoch is the object's move count (a forwarding-address timestamp):
+	// location knowledge is only ever updated to a strictly newer epoch,
+	// which, with the network's FIFO delivery, makes forwarding chains
+	// loop-free.
+	Epoch uint32
+	Fixed bool
+	// Array payloads.
+	IsArray       bool
+	ArrayElemKind byte
+	// Data slots in declaration order (or array elements).
+	Data []Value
+	// Monitor state: all referenced fragments are in Frags.
+	MonLocked  bool
+	MonHolder  uint32   // FragID of the lock holder (0 = none)
+	EntryQueue []uint32 // FragIDs blocked at monitor entry, FIFO
+	CondQueues [][]uint32
+	Frags      []Fragment
+	Hints      []LocHint
+}
+
+// Kind implements Payload.
+func (p *Move) Kind() MsgKind { return MMove }
+
+func (p *Move) marshal(e *Enc) {
+	e.OID(p.Object)
+	e.OID(p.CodeOID)
+	e.U32(p.Epoch)
+	flags := byte(0)
+	if p.Fixed {
+		flags |= 1
+	}
+	if p.IsArray {
+		flags |= 2
+	}
+	if p.MonLocked {
+		flags |= 4
+	}
+	e.U8(flags)
+	e.U8(p.ArrayElemKind)
+	e.Values(p.Data)
+	e.U32(p.MonHolder)
+	e.U16(uint16(len(p.EntryQueue)))
+	for _, f := range p.EntryQueue {
+		e.U32(f)
+	}
+	e.U16(uint16(len(p.CondQueues)))
+	for _, q := range p.CondQueues {
+		e.U16(uint16(len(q)))
+		for _, f := range q {
+			e.U32(f)
+		}
+	}
+	e.U16(uint16(len(p.Frags)))
+	for i := range p.Frags {
+		p.Frags[i].marshal(e)
+	}
+	e.U16(uint16(len(p.Hints)))
+	for _, h := range p.Hints {
+		e.OID(h.OID)
+		e.I32(h.Node)
+	}
+}
+
+func (p *Move) unmarshal(d *Dec) {
+	p.Object = d.OID()
+	p.CodeOID = d.OID()
+	p.Epoch = d.U32()
+	flags := d.U8()
+	p.Fixed = flags&1 != 0
+	p.IsArray = flags&2 != 0
+	p.MonLocked = flags&4 != 0
+	p.ArrayElemKind = d.U8()
+	p.Data = d.Values()
+	p.MonHolder = d.U32()
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		p.EntryQueue = append(p.EntryQueue, d.U32())
+	}
+	nq := int(d.U16())
+	for i := 0; i < nq; i++ {
+		m := int(d.U16())
+		var q []uint32
+		for j := 0; j < m; j++ {
+			q = append(q, d.U32())
+		}
+		p.CondQueues = append(p.CondQueues, q)
+	}
+	nf := int(d.U16())
+	for i := 0; i < nf; i++ {
+		var f Fragment
+		f.unmarshal(d)
+		if d.Err() != nil {
+			return
+		}
+		p.Frags = append(p.Frags, f)
+	}
+	nh := int(d.U16())
+	for i := 0; i < nh; i++ {
+		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
+	}
+}
+
+// Locate asks where an object lives. Nodes that do not hold the object
+// forward the request along their forwarding hints; the resident node
+// answers the Origin directly (a Return carrying the node number).
+type Locate struct {
+	Target    oid.OID
+	Origin    int32 // node whose fragment awaits the answer
+	ReplyFrag uint32
+	Hops      uint16 // chase bound against stale cycles
+}
+
+// Kind implements Payload.
+func (p *Locate) Kind() MsgKind { return MLocate }
+
+func (p *Locate) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.I32(p.Origin)
+	e.U32(p.ReplyFrag)
+	e.U16(p.Hops)
+}
+
+func (p *Locate) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Origin = d.I32()
+	p.ReplyFrag = d.U32()
+	p.Hops = d.U16()
+}
+
+// LocateReply answers a Locate.
+type LocateReply struct {
+	Target    oid.OID
+	Node      int32 // -1 = unknown here
+	ReplyFrag uint32
+}
+
+// Kind implements Payload.
+func (p *LocateReply) Kind() MsgKind { return MLocateReply }
+
+func (p *LocateReply) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.I32(p.Node)
+	e.U32(p.ReplyFrag)
+}
+
+func (p *LocateReply) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Node = d.I32()
+	p.ReplyFrag = d.U32()
+}
+
+// UpdateLoc is a forwarding hint sent back to a node that used a stale
+// location; Epoch timestamps the knowledge so late hints cannot regress it.
+type UpdateLoc struct {
+	Target oid.OID
+	Node   int32
+	Epoch  uint32
+}
+
+// Kind implements Payload.
+func (p *UpdateLoc) Kind() MsgKind { return MUpdateLoc }
+
+func (p *UpdateLoc) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.I32(p.Node)
+	e.U32(p.Epoch)
+}
+
+func (p *UpdateLoc) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Node = d.I32()
+	p.Epoch = d.U32()
+}
+
+// ErrTruncated is returned for short buffers.
+var ErrTruncated = errors.New("wire: truncated message")

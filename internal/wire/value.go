@@ -1,0 +1,353 @@
+// Package wire implements the machine-independent network format of the
+// enhanced system: big-endian integers, IEEE-754 reals, OIDs for swizzled
+// references, strings by value (immutable objects move by duplication), and
+// the machine-independent activation-record format used for migrating
+// thread state (§3.5).
+//
+// Conversion between a node's machine-dependent representation and the
+// network format is performed by a Converter, which also accounts for the
+// number of conversion-procedure calls — the paper attributes most of the
+// enhanced system's migration overhead to these calls ("an average of 1–2
+// calls of conversion procedures are performed for each byte being
+// transferred", §3.6) and guesses that efficient routines would halve the
+// penalty. Two converters are provided so that the guess can be tested:
+// CallConverter models the paper's per-value recursive-descent routines;
+// BatchedConverter models the optimized implementation.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/oid"
+)
+
+// WKind tags a wire value.
+type WKind byte
+
+// Wire value kinds.
+const (
+	WInt    WKind = iota // 32-bit integer (also bools, nodes, conditions)
+	WReal                // IEEE-754 binary32
+	WRef                 // object reference as an OID
+	WString              // immutable string, by value
+	WNil                 // nil reference
+	WRaw                 // raw machine word (homogeneous fast path, no conversion)
+)
+
+func (k WKind) String() string {
+	switch k {
+	case WInt:
+		return "int"
+	case WReal:
+		return "real"
+	case WRef:
+		return "ref"
+	case WString:
+		return "string"
+	case WNil:
+		return "nil"
+	case WRaw:
+		return "raw"
+	}
+	return fmt.Sprintf("wkind(%d)", byte(k))
+}
+
+// Value is one machine-independent value.
+type Value struct {
+	Kind WKind
+	Bits uint32 // int value, IEEE bits, OID, or raw machine word
+	Str  []byte // WString payload
+}
+
+// IntV / RealBitsV / RefV / StringV / NilV construct values.
+func IntV(v uint32) Value      { return Value{Kind: WInt, Bits: v} }
+func RealBitsV(b uint32) Value { return Value{Kind: WReal, Bits: b} }
+func RefV(o oid.OID) Value     { return Value{Kind: WRef, Bits: uint32(o)} }
+func StringV(b []byte) Value   { return Value{Kind: WString, Str: b} }
+func NilV() Value              { return Value{Kind: WNil} }
+func RawV(w uint32) Value      { return Value{Kind: WRaw, Bits: w} }
+
+// OID returns the value as an OID (WRef only).
+func (v Value) OID() oid.OID { return oid.OID(v.Bits) }
+
+// WireSize returns the encoded size in bytes.
+func (v Value) WireSize() int {
+	if v.Kind == WString {
+		return 1 + 4 + len(v.Str)
+	}
+	return 1 + 4
+}
+
+// Stats counts conversion work. Calls is the number of conversion-procedure
+// calls (the paper's cost driver); Values and Bytes measure volume.
+type Stats struct {
+	Calls  uint64
+	Values uint64
+	Bytes  uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Calls += other.Calls
+	s.Values += other.Values
+	s.Bytes += other.Bytes
+}
+
+// Converter translates 32-bit machine slots to and from wire values,
+// accounting for conversion-procedure calls.
+type Converter interface {
+	Name() string
+	// ToWire converts a machine word of the given kind read on the given
+	// architecture. Pointer words must be swizzled by the caller (the
+	// kernel owns the address-to-OID mapping) and passed as an OID.
+	IntToWire(raw uint32) Value
+	RealToWire(bits uint32, f arch.FloatCodec) Value
+	RefToWire(o oid.OID) Value
+	// FromWire converts wire values back to machine words.
+	IntFromWire(v Value) (uint32, error)
+	RealFromWire(v Value, f arch.FloatCodec) (uint32, error)
+	RefFromWire(v Value) (oid.OID, error)
+	Stats() Stats
+	ResetStats()
+}
+
+// CallConverter models the prototype's hand-written recursive-descent
+// conversion routines: "depending on the processor type, 2–3 procedure
+// calls are performed to convert a simple integer value to or from network
+// format" (§3.5). Each 32-bit integer costs two calls (two 16-bit
+// half-word conversions, htons-style, plus composition folded in), each
+// real three (unpack, convert format, repack), each reference two
+// (swizzle lookup plus conversion).
+type CallConverter struct {
+	stats Stats
+}
+
+// NewCallConverter returns a fresh per-value converter.
+func NewCallConverter() *CallConverter { return &CallConverter{} }
+
+// Name identifies the converter in benchmark output.
+func (c *CallConverter) Name() string { return "per-value-calls" }
+
+func (c *CallConverter) charge(calls int) {
+	c.stats.Calls += uint64(calls)
+	c.stats.Values++
+	c.stats.Bytes += 4
+}
+
+// IntToWire converts an integer machine word.
+func (c *CallConverter) IntToWire(raw uint32) Value {
+	c.charge(2)
+	return IntV(raw)
+}
+
+// RealToWire converts a real in the architecture float format to IEEE bits.
+func (c *CallConverter) RealToWire(bits uint32, f arch.FloatCodec) Value {
+	c.charge(3)
+	return RealBitsV(arch.IEEEFloat{}.Enc(f.Dec(bits)))
+}
+
+// RefToWire converts a swizzled reference.
+func (c *CallConverter) RefToWire(o oid.OID) Value {
+	c.charge(2)
+	if o == oid.Nil {
+		return NilV()
+	}
+	return RefV(o)
+}
+
+// IntFromWire converts back to a machine integer.
+func (c *CallConverter) IntFromWire(v Value) (uint32, error) {
+	c.charge(2)
+	if v.Kind != WInt && v.Kind != WRaw {
+		return 0, fmt.Errorf("wire: %v where int expected", v.Kind)
+	}
+	return v.Bits, nil
+}
+
+// RealFromWire converts IEEE bits to the architecture float format.
+func (c *CallConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, error) {
+	c.charge(3)
+	if v.Kind != WReal && v.Kind != WRaw {
+		return 0, fmt.Errorf("wire: %v where real expected", v.Kind)
+	}
+	if v.Kind == WRaw {
+		return v.Bits, nil
+	}
+	return f.Enc(arch.IEEEFloat{}.Dec(v.Bits)), nil
+}
+
+// RefFromWire extracts the OID.
+func (c *CallConverter) RefFromWire(v Value) (oid.OID, error) {
+	c.charge(2)
+	switch v.Kind {
+	case WNil:
+		return oid.Nil, nil
+	case WRef:
+		return oid.OID(v.Bits), nil
+	}
+	return 0, fmt.Errorf("wire: %v where ref expected", v.Kind)
+}
+
+// Stats returns the accumulated counters.
+func (c *CallConverter) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *CallConverter) ResetStats() { c.stats = Stats{} }
+
+// BatchedConverter models efficient conversion routines: one call per
+// value, with the same semantic effect. The paper predicts roughly a 50%
+// reduction of the migration penalty with such routines (§3.6); the
+// conversion ablation benchmark compares the two.
+type BatchedConverter struct {
+	CallConverter
+}
+
+// NewBatchedConverter returns the optimized converter.
+func NewBatchedConverter() *BatchedConverter { return &BatchedConverter{} }
+
+// Name identifies the converter.
+func (c *BatchedConverter) Name() string { return "batched" }
+
+func (c *BatchedConverter) charge1() {
+	c.stats.Calls++
+	c.stats.Values++
+	c.stats.Bytes += 4
+}
+
+// IntToWire converts with a single call.
+func (c *BatchedConverter) IntToWire(raw uint32) Value {
+	c.charge1()
+	return IntV(raw)
+}
+
+// RealToWire converts with a single call.
+func (c *BatchedConverter) RealToWire(bits uint32, f arch.FloatCodec) Value {
+	c.charge1()
+	return RealBitsV(arch.IEEEFloat{}.Enc(f.Dec(bits)))
+}
+
+// RefToWire converts with a single call.
+func (c *BatchedConverter) RefToWire(o oid.OID) Value {
+	c.charge1()
+	if o == oid.Nil {
+		return NilV()
+	}
+	return RefV(o)
+}
+
+// IntFromWire converts with a single call.
+func (c *BatchedConverter) IntFromWire(v Value) (uint32, error) {
+	c.charge1()
+	if v.Kind != WInt && v.Kind != WRaw {
+		return 0, fmt.Errorf("wire: %v where int expected", v.Kind)
+	}
+	return v.Bits, nil
+}
+
+// RealFromWire converts with a single call.
+func (c *BatchedConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, error) {
+	c.charge1()
+	if v.Kind != WReal && v.Kind != WRaw {
+		return 0, fmt.Errorf("wire: %v where real expected", v.Kind)
+	}
+	if v.Kind == WRaw {
+		return v.Bits, nil
+	}
+	return f.Enc(arch.IEEEFloat{}.Dec(v.Bits)), nil
+}
+
+// RefFromWire converts with a single call.
+func (c *BatchedConverter) RefFromWire(v Value) (oid.OID, error) {
+	c.charge1()
+	switch v.Kind {
+	case WNil:
+		return oid.Nil, nil
+	case WRef:
+		return oid.OID(v.Bits), nil
+	}
+	return 0, fmt.Errorf("wire: %v where ref expected", v.Kind)
+}
+
+// RawConverter is the homogeneous fast path of the original system: machine
+// words travel unconverted (both ends share one architecture), as in the
+// multi-protocol RPC optimization the paper cites ([SC88], §3.1). It is
+// only correct when source and destination architectures are identical.
+type RawConverter struct {
+	stats Stats
+}
+
+// NewRawConverter returns the no-conversion converter.
+func NewRawConverter() *RawConverter { return &RawConverter{} }
+
+// Name identifies the converter.
+func (c *RawConverter) Name() string { return "raw-homogeneous" }
+
+func (c *RawConverter) bump() {
+	c.stats.Values++
+	c.stats.Bytes += 4
+}
+
+// IntToWire passes the word through.
+func (c *RawConverter) IntToWire(raw uint32) Value { c.bump(); return RawV(raw) }
+
+// RealToWire passes machine float bits through unconverted.
+func (c *RawConverter) RealToWire(bits uint32, _ arch.FloatCodec) Value {
+	c.bump()
+	return RawV(bits)
+}
+
+// RefToWire still swizzles (references are never raw: object identity must
+// survive even homogeneous moves).
+func (c *RawConverter) RefToWire(o oid.OID) Value {
+	c.bump()
+	if o == oid.Nil {
+		return NilV()
+	}
+	return RefV(o)
+}
+
+// IntFromWire passes through.
+func (c *RawConverter) IntFromWire(v Value) (uint32, error) {
+	c.bump()
+	return v.Bits, nil
+}
+
+// RealFromWire passes through.
+func (c *RawConverter) RealFromWire(v Value, _ arch.FloatCodec) (uint32, error) {
+	c.bump()
+	return v.Bits, nil
+}
+
+// RefFromWire extracts the OID.
+func (c *RawConverter) RefFromWire(v Value) (oid.OID, error) {
+	c.bump()
+	switch v.Kind {
+	case WNil:
+		return oid.Nil, nil
+	case WRef:
+		return oid.OID(v.Bits), nil
+	}
+	return 0, fmt.Errorf("wire: %v where ref expected", v.Kind)
+}
+
+// Stats returns the counters.
+func (c *RawConverter) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *RawConverter) ResetStats() { c.stats = Stats{} }
+
+// SlotToWire converts one machine slot of the given IR kind. refOID must be
+// the swizzled OID for pointer slots (string slots are handled by the
+// kernel, which ships strings by value).
+func SlotToWire(c Converter, k ir.VK, raw uint32, refOID oid.OID, f arch.FloatCodec) Value {
+	switch k {
+	case ir.VKReal:
+		return c.RealToWire(raw, f)
+	case ir.VKPtr:
+		return c.RefToWire(refOID)
+	default:
+		return c.IntToWire(raw)
+	}
+}
