@@ -1,0 +1,24 @@
+# The tier-1 gate: everything `make ci` runs must stay green on every
+# commit (see ROADMAP.md). The emvet step keeps the example corpus clean
+# under the mobility-soundness analyzer on every ISA.
+
+GO ?= go
+
+.PHONY: ci build test vet emvet race
+
+ci: vet build race emvet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+emvet:
+	$(GO) run ./cmd/emvet examples/programs/*.em

@@ -1,36 +1,52 @@
 // Command emc is the Emerald-subset compiler driver: it compiles a source
 // file for every simulated architecture and can dump per-ISA assembly,
 // activation templates and bus-stop tables — the artifacts the runtime's
-// heterogeneous mobility depends on.
+// heterogeneous mobility depends on. After compiling, it runs the
+// mobility-soundness analyzer (internal/vet) over the result, so
+// metadata inconsistent across ISAs is an error at compile time rather
+// than a corrupted thread at migration time.
 //
 // Usage:
 //
-//	emc [-S] [-t] [-stops] [-arch vax|m68k|sparc] file.em
+//	emc [-S] [-t] [-stops] [-arch vax|m68k|sparc] [-vet=false] file.em
 //
 //	-S      print disassembly per architecture
 //	-t      print activation-record templates
 //	-stops  print bus-stop tables
 //	-arch   restrict output to one architecture
+//	-vet    run the mobility-soundness passes (default true); findings of
+//	        error severity fail the compile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/vet"
 )
+
+func archNames() string {
+	names := make([]string, 0, len(arch.All()))
+	for _, id := range arch.All() {
+		names = append(names, id.String())
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	asm := flag.Bool("S", false, "print disassembly")
 	tmpl := flag.Bool("t", false, "print activation templates")
 	stops := flag.Bool("stops", false, "print bus-stop tables")
-	archName := flag.String("arch", "", "restrict to one architecture (vax, m68k, sparc)")
+	archName := flag.String("arch", "", "restrict to one architecture ("+archNames()+")")
+	runVet := flag.Bool("vet", true, "run the mobility-soundness passes over the compiled program")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emc [-S] [-t] [-stops] [-arch a] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emc [-S] [-t] [-stops] [-arch a] [-vet=false] file.em")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -40,8 +56,21 @@ func main() {
 	}
 	prog, err := core.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "emc:", err)
+		// Show every diagnostic, not just the first: a broken file is fixed
+		// in one pass instead of one error at a time.
+		for _, line := range core.Diagnostics(err) {
+			fmt.Fprintln(os.Stderr, "emc:", line)
+		}
 		os.Exit(1)
+	}
+	if *runVet {
+		diags := vet.Check(prog)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, "emc:", d)
+		}
+		if vet.HasErrors(diags) {
+			os.Exit(1)
+		}
 	}
 	var archs []arch.ID
 	if *archName == "" {
@@ -55,7 +84,7 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "emc: unknown architecture %q\n", *archName)
+			fmt.Fprintf(os.Stderr, "emc: unknown architecture %q (have %s)\n", *archName, archNames())
 			os.Exit(2)
 		}
 	}

@@ -35,9 +35,10 @@ func main() {
 	mode := flag.String("mode", "enhanced", "conversion mode: enhanced, original, batched, fastpath")
 	trace := flag.Bool("trace", false, "print kernel event trace")
 	stats := flag.Bool("stats", false, "print per-node statistics")
+	vetLoad := flag.Bool("vetload", false, "nodes vet each code object's mobility metadata before loading it")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-trace] [-stats] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-trace] [-stats] [-vetload] file.em")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -68,13 +69,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emrun: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	opts := core.Options{Mode: cm}
+	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad}
 	if *trace {
 		opts.Trace = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 	prog, err := core.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "emrun:", err)
+		for _, line := range core.Diagnostics(err) {
+			fmt.Fprintln(os.Stderr, "emrun:", line)
+		}
 		os.Exit(1)
 	}
 	sys, err := core.NewSystem(prog, machines, opts)

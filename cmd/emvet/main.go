@@ -1,0 +1,74 @@
+// Command emvet is the cross-ISA mobility-soundness analyzer: it compiles
+// each Emerald-subset source file for every simulated architecture and runs
+// every static-analysis pass in internal/vet over the result — bus-stop
+// isomorphism across ISAs, stop-PC alignment, per-stop liveness consistency,
+// template coverage, and the IR dataflow lints.
+//
+// Usage:
+//
+//	emvet [-severity error|warning|info] [-list] file.em...
+//
+//	-severity  lowest severity that makes the exit status nonzero
+//	           (default warning)
+//	-list      list the passes and exit
+//
+// The exit status is 0 when every file compiles and no finding reaches the
+// threshold, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/vet"
+)
+
+func main() {
+	sevName := flag.String("severity", "warning", "exit nonzero at or above this severity (info, warning, error)")
+	list := flag.Bool("list", false, "list passes and exit")
+	flag.Parse()
+	if *list {
+		for _, p := range vet.Passes() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+	threshold, err := vet.ParseSeverity(*sevName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emvet:", err)
+		os.Exit(2)
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: emvet [-severity s] [-list] file.em...")
+		os.Exit(2)
+	}
+	fail := false
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emvet:", err)
+			fail = true
+			continue
+		}
+		prog, err := core.Compile(string(src))
+		if err != nil {
+			for _, line := range core.Diagnostics(err) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", file, line)
+			}
+			fail = true
+			continue
+		}
+		diags := vet.Check(prog)
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", file, d)
+		}
+		if m, ok := vet.MaxSeverity(diags); ok && m >= threshold {
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

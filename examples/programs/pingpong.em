@@ -8,7 +8,7 @@ object Ball
     var i: Int <- 0
     while i < trips do
       move self to node(1)
-      move self to node(0)
+      move self to home
       i <- i + 1
     end
     var t1: Int <- timems()

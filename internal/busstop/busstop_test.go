@@ -104,6 +104,87 @@ func TestIsomorphic(t *testing.T) {
 	}
 }
 
+func TestByPCAnyAcceptsExitOnly(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The migration path converts an arriving thread's stop number through
+	// ByPCAny, which must accept exit-only stops...
+	s, err := tbl.ByPCAny(31)
+	if err != nil || s.Stop != 2 || !s.ExitOnly {
+		t.Errorf("ByPCAny(31) = %+v, %v", s, err)
+	}
+	// ...and still reject PCs that are no stop at all.
+	if _, err := tbl.ByPCAny(32); err == nil {
+		t.Error("ByPCAny of a non-stop must fail")
+	}
+}
+
+func TestIsomorphicFieldMismatches(t *testing.T) {
+	a, _ := NewTable(mkStops())
+	cases := map[string]func([]Info){
+		"pushes":     func(s []Info) { s[0].Pushes = false },
+		"resultkind": func(s []Info) { s[0].ResultKind = ir.VKPtr },
+		"tempkind":   func(s []Info) { s[0].TempKinds[0] = ir.VKInt },
+	}
+	for name, mutate := range cases {
+		other := mkStops()
+		mutate(other)
+		b, err := NewTable(other)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Isomorphic(a, b); err == nil {
+			t.Errorf("%s mismatch must break isomorphism", name)
+		}
+	}
+	// ExitOnly and PC are machine-dependent: differing there stays isomorphic.
+	other := mkStops()
+	other[2].ExitOnly = false
+	b, _ := NewTable(other)
+	if err := Isomorphic(a, b); err != nil {
+		t.Errorf("exit-only is per-ISA and must not break isomorphism: %v", err)
+	}
+}
+
+// TestAllIsACopy: mutating the slice All returns — including the nested
+// TempKinds — must not affect the table. The analysis passes depend on this
+// to model corruptions without corrupting.
+func TestAllIsACopy(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.All()
+	got[0].TempDepth = 99
+	got[0].TempKinds[0] = ir.VKInt
+	got[1].Kind = KindCall
+	s, _ := tbl.ByStop(0)
+	if s.TempDepth != 1 || s.TempKinds[0] != ir.VKPtr {
+		t.Errorf("mutation through All() reached the table: %+v", s)
+	}
+	if s, _ := tbl.ByStop(1); s.Kind != KindLoopBottom {
+		t.Errorf("mutation through All() reached the table: %+v", s)
+	}
+}
+
+// TestNewTableCopiesInput: mutating the caller's slice after NewTable must
+// not skew the table.
+func TestNewTableCopiesInput(t *testing.T) {
+	stops := mkStops()
+	tbl, err := NewTable(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops[0].Kind = KindSyscall
+	stops[0].TempDepth = 7
+	stops[0].TempKinds[0] = ir.VKInt
+	if s, _ := tbl.ByStop(0); s.Kind != KindCall || s.TempDepth != 1 || s.TempKinds[0] != ir.VKPtr {
+		t.Errorf("mutation of the input slice reached the table: %+v", s)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindCall: "call", KindSyscall: "syscall",

@@ -71,6 +71,20 @@ func (o *ObjectCode) FuncIndex(name string) int { return o.IR.FuncIndex(name) }
 // each with code for every architecture.
 type Program struct {
 	Objects []*ObjectCode
+	// Opts records the options the program was compiled with (with
+	// Opts.Specs normalized to the actual target list). Static analyses
+	// (internal/vet) consult them so that, e.g., an ablation build without
+	// loop polls or with custom register files is checked against the
+	// metadata it was actually generated for.
+	Opts Options
+}
+
+// Specs returns the architecture specs the program was compiled for.
+func (p *Program) Specs() []*arch.Spec {
+	if p.Opts.Specs != nil {
+		return p.Opts.Specs
+	}
+	return arch.AllSpecs()
 }
 
 // Object returns the compiled object named name, or nil.
@@ -106,7 +120,8 @@ func CompileWithOptions(p *ir.Program, opts Options) (*Program, error) {
 	if specs == nil {
 		specs = arch.AllSpecs()
 	}
-	out := &Program{}
+	opts.Specs = specs
+	out := &Program{Opts: opts}
 	for idx, obj := range p.Objects {
 		oc := &ObjectCode{
 			Name:       obj.Name,
@@ -114,11 +129,14 @@ func CompileWithOptions(p *ir.Program, opts Options) (*Program, error) {
 			CodeOID:    oid.ForCode(idx),
 			IR:         obj,
 			HasProcess: obj.HasProcess,
+			// Slots/SlotNames are copied: the template is an independent
+			// artifact the runtime (and the vet passes) check against the
+			// IR, so the two must not share backing storage.
 			Template: &template.Object{
 				Name:          obj.Name,
 				Immutable:     obj.Immutable,
-				Slots:         obj.VarKinds,
-				SlotNames:     obj.VarNames,
+				Slots:         append([]ir.VK(nil), obj.VarKinds...),
+				SlotNames:     append([]string(nil), obj.VarNames...),
 				MonitoredFrom: obj.MonitoredFrom,
 				NumConds:      obj.NumConds,
 			},

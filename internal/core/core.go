@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/codegen"
@@ -20,6 +21,29 @@ import (
 	"repro/internal/lang/types"
 	"repro/internal/netsim"
 )
+
+// Diagnostics flattens a Compile error into one line per diagnostic. Parse
+// and typecheck failures carry an ErrorList of every problem found; drivers
+// should show them all, not just the first.
+func Diagnostics(err error) []string {
+	var pl parser.ErrorList
+	if errors.As(err, &pl) {
+		out := make([]string, 0, len(pl))
+		for _, e := range pl {
+			out = append(out, "parse: "+e.Error())
+		}
+		return out
+	}
+	var tl types.ErrorList
+	if errors.As(err, &tl) {
+		out := make([]string, 0, len(tl))
+		for _, e := range tl {
+			out = append(out, "typecheck: "+e.Error())
+		}
+		return out
+	}
+	return []string{err.Error()}
+}
 
 // Compile runs the whole compiler pipeline on Emerald-subset source,
 // producing native code, templates and bus-stop tables for every
@@ -58,6 +82,10 @@ func CompileInfo(src string) (*types.Info, *codegen.Program, error) {
 type Options struct {
 	// Mode selects original (homogeneous-only) vs enhanced conversion.
 	Mode kernel.ConvMode
+	// VetOnLoad makes every node statically vet a code object's mobility
+	// metadata before loading it (see internal/vet), refusing programs
+	// whose metadata would corrupt a migrating thread.
+	VetOnLoad bool
 	// Placement maps root objects to nodes (nil: all on node 0).
 	Placement func(objName string, rootIdx int) int
 	// MaxEvents bounds the simulation (0: a generous default).
@@ -88,6 +116,7 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg := kernel.DefaultConfig()
 	cfg.Mode = opts.Mode
 	cfg.Trace = opts.Trace
+	cfg.VetOnLoad = opts.VetOnLoad
 	cl, err := kernel.NewCluster(prog, machines, cfg)
 	if err != nil {
 		return nil, err

@@ -112,6 +112,12 @@ type Config struct {
 	// ablations); nil uses arch.SpecOf. The program must have been compiled
 	// with the same specs.
 	SpecOverride func(arch.ID) *arch.Spec
+	// VetOnLoad runs the mobility-soundness metadata passes (internal/vet)
+	// over each code object the first time a node loads it, refusing the
+	// load when an error-severity finding exists. A program with skewed
+	// bus-stop tables or mismatched templates would otherwise corrupt the
+	// first thread that migrates through it.
+	VetOnLoad bool
 	// Trace, when set, receives kernel event lines (for debugging).
 	Trace func(string)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/netsim"
 	"repro/internal/oid"
+	"repro/internal/vet"
 	"repro/internal/wire"
 )
 
@@ -239,6 +240,11 @@ func (n *Node) loadCode(code oid.OID) (*loadedCode, error) {
 	oc, ac, lat, err := n.cluster.CodeSrv.Fetch(code, n.Spec.ID)
 	if err != nil {
 		return nil, err
+	}
+	if n.cluster.VetOnLoad {
+		if verr := vet.VetForLoad(n.cluster.Prog, oc, n.Spec); verr != nil {
+			return nil, fmt.Errorf("node %d: refusing to load %s: %w", n.ID, oc.Name, verr)
+		}
 	}
 	n.CPU.FreeAt += lat // NFS round trip stalls the node
 	lc := &loadedCode{oc: oc, ac: ac}

@@ -1,0 +1,8 @@
+// Negative fixture: the first store to x is overwritten before any read.
+object Main
+  process
+    var x: Int <- 1
+    x <- 2
+    print(x)
+  end process
+end Main

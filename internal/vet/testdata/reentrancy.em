@@ -1,0 +1,21 @@
+// Negative fixture: poke bare-calls bump — both monitored, monitors are not
+// reentrant, so the inner entry would block forever.
+object Counter
+  monitor
+    var n: Int <- 0
+    operation bump() -> (r: Int)
+      n <- n + 1
+      r <- n
+    end
+    operation poke() -> (r: Int)
+      r <- bump()
+    end
+  end monitor
+end Counter
+
+object Main
+  process
+    var c: Counter <- new Counter
+    print(c.poke())
+  end process
+end Main

@@ -1,0 +1,20 @@
+// Negative fixture: compiled clean, then the golden test skews the first
+// VAX stop's temporary-depth record (see golden_test.go) — the exact
+// corruption that would garble every live temporary above the skew when a
+// thread migrates through this operation.
+object Counter
+  monitor
+    var n: Int <- 0
+    operation bump() -> (r: Int)
+      n <- n + 1
+      r <- n
+    end
+  end monitor
+end Counter
+
+object Main
+  process
+    var c: Counter <- new Counter
+    print(c.bump())
+  end process
+end Main

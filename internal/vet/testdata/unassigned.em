@@ -1,0 +1,7 @@
+// Negative fixture: x is read but assigned on no path (always zero).
+object Main
+  process
+    var x: Int
+    print("x is ", x)
+  end process
+end Main

@@ -1,0 +1,10 @@
+// Negative fixture: the print after the unconditional exit can never run.
+object Main
+  process
+    loop
+      exit
+      print("never")
+    end
+    print("done")
+  end process
+end Main

@@ -1,0 +1,16 @@
+// Negative fixture: compiled clean, then the golden test flips the kind of
+// the first VAX variable home (see golden_test.go) — the template skew that
+// would marshal an integer as an object reference.
+object Holder
+  operation keep(v: Int) -> (r: Int)
+    var copy: Int <- v
+    r <- copy
+  end
+end Holder
+
+object Main
+  process
+    var h: Holder <- new Holder
+    print(h.keep(7))
+  end process
+end Main

@@ -1,0 +1,303 @@
+// The tests live in an external package: core imports kernel, kernel
+// imports vet (the load-time gate), so vet's own test files must not
+// import core from package vet.
+package vet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/busstop"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vet"
+)
+
+func compile(t *testing.T, src string) *codegen.Program {
+	t.Helper()
+	prog, err := core.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// mustClean asserts a program has no findings at all.
+func mustClean(t *testing.T, prog *codegen.Program) {
+	t.Helper()
+	for _, d := range vet.Check(prog) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// passNames collects the distinct pass names among diags.
+func passNames(diags []vet.Diagnostic) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range diags {
+		out[d.Pass] = true
+	}
+	return out
+}
+
+// wantPass asserts at least one error-severity finding from the named pass.
+func wantPass(t *testing.T, diags []vet.Diagnostic, pass string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Pass == pass && d.Sev == vet.SevError {
+			return
+		}
+	}
+	t.Errorf("no %s error; got %d diagnostics:", pass, len(diags))
+	for _, d := range diags {
+		t.Errorf("  %s", d)
+	}
+}
+
+// TestExamplesClean runs every pass over every example program: the shipped
+// corpus must be vet-clean on all architectures.
+func TestExamplesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.em"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, compile(t, string(src)))
+		})
+	}
+}
+
+const monitoredSrc = `
+object Counter
+  monitor
+    var n: Int <- 0
+    operation bump() -> (r: Int)
+      n <- n + 1
+      r <- n
+    end
+  end monitor
+end Counter
+
+object Main
+  process
+    var c: Counter <- new Counter
+    print("n=", c.bump())
+  end process
+end Main
+`
+
+// restop rebuilds fc.Stops from a mutated copy of its entries.
+func restop(t *testing.T, fc *codegen.FuncCode, mutate func(stops []busstop.Info)) {
+	t.Helper()
+	stops := fc.Stops.All()
+	mutate(stops)
+	nt, err := busstop.NewTable(stops)
+	if err != nil {
+		t.Fatalf("rebuilding corrupted table: %v", err)
+	}
+	fc.Stops = nt
+}
+
+// vaxFunc returns the named object's first function's code for the VAX.
+func vaxFunc(t *testing.T, prog *codegen.Program, obj string) *codegen.FuncCode {
+	t.Helper()
+	oc := prog.Object(obj)
+	if oc == nil {
+		t.Fatalf("no object %s", obj)
+	}
+	ac := oc.PerArch[arch.VAX]
+	if ac == nil || len(ac.Funcs) == 0 {
+		t.Fatalf("no VAX code for %s", obj)
+	}
+	return ac.Funcs[0]
+}
+
+// TestCorruptTempDepth skews one architecture's liveness record for one stop:
+// both the cross-ISA isomorphism and the IR recomputation must notice.
+func TestCorruptTempDepth(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	mustClean(t, prog)
+	restop(t, vaxFunc(t, prog, "Counter"), func(stops []busstop.Info) {
+		stops[0].TempDepth++
+		stops[0].TempKinds = append(stops[0].TempKinds, ir.VKInt)
+	})
+	diags := vet.Check(prog)
+	wantPass(t, diags, "stop-isomorphism")
+	wantPass(t, diags, "liveness-consistency")
+}
+
+// TestCorruptStopPC moves a stop PC off its instruction boundary. Stop
+// kinds and liveness still agree everywhere, so only pc-alignment fires.
+func TestCorruptStopPC(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	restop(t, vaxFunc(t, prog, "Counter"), func(stops []busstop.Info) {
+		stops[len(stops)-1].PC--
+	})
+	diags := vet.Check(prog)
+	wantPass(t, diags, "pc-alignment")
+	if names := passNames(diags); names["stop-isomorphism"] {
+		t.Errorf("PC skew flagged by stop-isomorphism; PCs are machine-dependent")
+	}
+}
+
+// TestCorruptExitOnly clears the exit-only flag on the VAX monitor-exit
+// stop — exactly the §3.3 atomic-UNLINK invariant.
+func TestCorruptExitOnly(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	fc := vaxFunc(t, prog, "Counter")
+	found := false
+	restop(t, fc, func(stops []busstop.Info) {
+		for i := range stops {
+			if stops[i].ExitOnly {
+				stops[i].ExitOnly = false
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatal("no exit-only stop in a monitored VAX function")
+	}
+	diags := vet.Check(prog)
+	wantPass(t, diags, "stop-isomorphism")
+	wantPass(t, diags, "liveness-consistency")
+}
+
+// TestCorruptActivationTemplate flips a variable home's kind: the
+// marshalling contract check must fire.
+func TestCorruptActivationTemplate(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	fc := vaxFunc(t, prog, "Counter")
+	if len(fc.Template.Vars) == 0 {
+		t.Fatal("function has no variable homes")
+	}
+	if fc.Template.Vars[0].Kind == ir.VKInt {
+		fc.Template.Vars[0].Kind = ir.VKPtr
+	} else {
+		fc.Template.Vars[0].Kind = ir.VKInt
+	}
+	wantPass(t, vet.Check(prog), "template-coverage")
+}
+
+// TestCorruptSavedRegs drops a saved register the homes require.
+func TestCorruptSavedRegs(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	fc := vaxFunc(t, prog, "Counter")
+	if len(fc.Template.SavedRegs) == 0 {
+		t.Skip("no register-homed variables on the VAX for this function")
+	}
+	fc.Template.SavedRegs = fc.Template.SavedRegs[:len(fc.Template.SavedRegs)-1]
+	wantPass(t, vet.Check(prog), "template-coverage")
+}
+
+// TestCorruptObjectTemplate flips an object slot kind.
+func TestCorruptObjectTemplate(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	oc := prog.Object("Counter")
+	if len(oc.Template.Slots) == 0 {
+		t.Fatal("Counter has no data slots")
+	}
+	oc.Template.Slots[0] = ir.VKPtr
+	wantPass(t, vet.Check(prog), "template-coverage")
+}
+
+// TestVetForLoad exercises the kernel's load gate directly: clean programs
+// load, tampered ones are refused with the pass named in the error.
+func TestVetForLoad(t *testing.T) {
+	prog := compile(t, monitoredSrc)
+	oc := prog.Object("Counter")
+	for _, spec := range arch.AllSpecs() {
+		if err := vet.VetForLoad(prog, oc, spec); err != nil {
+			t.Errorf("clean program refused on %s: %v", spec.Name, err)
+		}
+	}
+	restop(t, vaxFunc(t, prog, "Counter"), func(stops []busstop.Info) {
+		stops[0].TempDepth++
+		stops[0].TempKinds = append(stops[0].TempKinds, ir.VKInt)
+	})
+	err := vet.VetForLoad(prog, oc, arch.SpecOf(arch.VAX))
+	if err == nil {
+		t.Fatal("tampered table loaded without complaint")
+	}
+	if !strings.Contains(err.Error(), "liveness-consistency") &&
+		!strings.Contains(err.Error(), "stop-isomorphism") {
+		t.Errorf("load error does not name the failing pass: %v", err)
+	}
+	// Lints must not stop a load: a program with a dead store is legal.
+	deadStore := compile(t, `
+object Main
+  process
+    var x: Int <- 1
+    x <- 2
+    print(x)
+  end process
+end Main
+`)
+	if !vet.HasErrors(vet.Check(deadStore)) {
+		// It does carry a warning, though.
+		if m, ok := vet.MaxSeverity(vet.Check(deadStore)); !ok || m != vet.SevWarning {
+			t.Error("dead-store fixture produced no warning")
+		}
+	}
+	for _, spec := range arch.AllSpecs() {
+		if err := vet.VetForLoad(deadStore, deadStore.Object("Main"), spec); err != nil {
+			t.Errorf("warning-only program refused on %s: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestDiagnosticString pins the CLI/golden line format.
+func TestDiagnosticString(t *testing.T) {
+	d := vet.Diagnostic{
+		Pass: "liveness-consistency", Sev: vet.SevError,
+		Object: "Kilroy", Func: "Kilroy.tour", Arch: "vax", Stop: 3, Msg: "boom",
+	}
+	want := "error: [liveness-consistency] Kilroy.tour [vax] stop 3: boom"
+	if got := d.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	d2 := vet.Diagnostic{Pass: "template-coverage", Sev: vet.SevError, Object: "Kilroy", Stop: -1, Msg: "boom"}
+	if got, want := d2.String(), "error: [template-coverage] Kilroy boom"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestParseSeverity covers the CLI's threshold parsing.
+func TestParseSeverity(t *testing.T) {
+	for name, want := range map[string]vet.Severity{
+		"info": vet.SevInfo, "warning": vet.SevWarning, "error": vet.SevError,
+	} {
+		got, err := vet.ParseSeverity(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := vet.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown name")
+	}
+}
+
+// TestPassesListed: every pass that can report must be in the listing.
+func TestPassesListed(t *testing.T) {
+	listed := map[string]bool{}
+	for _, p := range vet.Passes() {
+		listed[p.Name] = true
+	}
+	for _, name := range []string{
+		"stop-isomorphism", "pc-alignment", "liveness-consistency",
+		"template-coverage", "definite-assignment", "unreachable-code",
+		"dead-store", "monitor-reentrancy",
+	} {
+		if !listed[name] {
+			t.Errorf("pass %s missing from Passes()", name)
+		}
+	}
+}
