@@ -1,12 +1,13 @@
 # The tier-1 gate: everything `make ci` runs must stay green on every
 # commit (see ROADMAP.md). The emvet step keeps the example corpus clean
-# under the mobility-soundness analyzer on every ISA.
+# under the mobility-soundness analyzer on every ISA; the emtrace and
+# benchjson smokes keep the observability exports loadable.
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke
 
-ci: vet build race emvet
+ci: vet build race emvet emtrace-smoke benchjson-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +23,15 @@ vet:
 
 emvet:
 	$(GO) run ./cmd/emvet examples/programs/*.em
+
+# A Chrome trace of the kilroy tour must export and parse as JSON.
+emtrace-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/emtrace -chrome .ci/kilroy_trace.json -metrics .ci/kilroy_metrics.json examples/programs/kilroy.em
+	$(GO) run ./tools/jsoncheck .ci/kilroy_trace.json .ci/kilroy_metrics.json
+
+# embench table1 must write parseable BENCH_table1.json.
+benchjson-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/embench -out .ci table1 > /dev/null
+	$(GO) run ./tools/jsoncheck .ci/BENCH_table1.json

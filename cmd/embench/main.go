@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	embench [table1|fig1|fig2|fig3|intranode|conv|ablations|all]
+//	embench [-out dir] [table1|fig1|fig2|fig3|intranode|conv|ablations|all]
+//
+// The table1, fig2 and conv experiments additionally write machine-readable
+// results (BENCH_table1.json, BENCH_fig2.json, BENCH_conv.json) into -out
+// (default: the current directory) for CI and plotting scripts.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,31 +22,69 @@ import (
 	"repro/internal/netsim"
 )
 
-func main() {
-	what := "all"
-	if len(os.Args) > 1 {
-		what = os.Args[1]
+// subcommands lists every experiment in presentation order.
+var subcommands = []struct {
+	name string
+	run  func(outDir string) error
+}{
+	{"fig1", figure1},
+	{"table1", table1},
+	{"fig2", figure2},
+	{"fig3", figure3},
+	{"intranode", intraNode},
+	{"conv", conv},
+	{"ablations", ablations},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: embench [-out dir] [subcommand]")
+	fmt.Fprint(os.Stderr, "subcommands: all (default)")
+	for _, s := range subcommands {
+		fmt.Fprint(os.Stderr, ", ", s.name)
 	}
-	run := func(name string, f func() error) {
-		if what != "all" && what != name {
-			return
+	fmt.Fprintln(os.Stderr)
+}
+
+func main() {
+	outDir := flag.String("out", ".", "directory for BENCH_*.json result files")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() > 1 {
+		usage()
+		os.Exit(1)
+	}
+	what := "all"
+	if flag.NArg() == 1 {
+		what = flag.Arg(0)
+	}
+	known := what == "all"
+	for _, s := range subcommands {
+		known = known || what == s.name
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "embench: unknown subcommand %q\n", what)
+		usage()
+		os.Exit(1)
+	}
+	for _, s := range subcommands {
+		if what != "all" && what != s.name {
+			continue
 		}
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "embench %s: %v\n", name, err)
+		if err := s.run(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "embench %s: %v\n", s.name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
-	run("fig1", figure1)
-	run("table1", table1)
-	run("fig2", figure2)
-	run("fig3", figure3)
-	run("intranode", intraNode)
-	run("conv", conv)
-	run("ablations", ablations)
 }
 
-func ablations() error {
+// wrote reports a BENCH_*.json file on stderr so stdout stays a clean
+// human-readable report.
+func wrote(path string) {
+	fmt.Fprintf(os.Stderr, "embench: wrote %s\n", path)
+}
+
+func ablations(string) error {
 	bs, err := exp.BusStopDensity()
 	if err != nil {
 		return err
@@ -54,16 +97,21 @@ func ablations() error {
 	return nil
 }
 
-func table1() error {
+func table1(outDir string) error {
 	cells, err := exp.Table1()
 	if err != nil {
 		return err
 	}
 	fmt.Print(exp.FormatTable1(cells))
+	path, err := exp.WriteBenchJSON(outDir, "table1", exp.BenchTable1Doc(cells))
+	if err != nil {
+		return err
+	}
+	wrote(path)
 	return nil
 }
 
-func figure1() error {
+func figure1(string) error {
 	fmt.Println("Figure 1: a network of heterogeneous nodes")
 	for i, m := range core.Figure1Network() {
 		fmt.Printf("  node%d: %-18s (%s, %.1f effective MHz)\n", i, m.Name, archName(m), m.MHz)
@@ -76,16 +124,21 @@ func archName(m netsim.MachineModel) string {
 	return [...]string{"vax", "m68k", "sparc"}[m.Arch]
 }
 
-func figure2() error {
+func figure2(outDir string) error {
 	rows, err := exp.Figure2()
 	if err != nil {
 		return err
 	}
 	fmt.Print(exp.FormatFigure2(rows))
+	path, err := exp.WriteBenchJSON(outDir, "fig2", exp.BenchFig2Doc(rows))
+	if err != nil {
+		return err
+	}
+	wrote(path)
 	return nil
 }
 
-func figure3() error {
+func figure3(string) error {
 	s, err := exp.Figure34()
 	if err != nil {
 		return err
@@ -94,7 +147,7 @@ func figure3() error {
 	return nil
 }
 
-func intraNode() error {
+func intraNode(string) error {
 	fmt.Println("§3.6 intra-node performance invariant (compute phase, ms):")
 	fmt.Printf("%-20s %10s %10s %14s %6s\n", "machine", "local", "migrated", "original-sys", "ok")
 	for _, m := range []netsim.MachineModel{
@@ -111,11 +164,16 @@ func intraNode() error {
 	return nil
 }
 
-func conv() error {
+func conv(outDir string) error {
 	rs, err := exp.ConversionStudy()
 	if err != nil {
 		return err
 	}
 	fmt.Print(exp.FormatConversionStudy(rs))
+	path, err := exp.WriteBenchJSON(outDir, "conv", exp.BenchConvDoc(rs))
+	if err != nil {
+		return err
+	}
+	wrote(path)
 	return nil
 }

@@ -15,20 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/netsim"
 )
-
-var machineSpecs = map[string]netsim.MachineModel{
-	"sparc": netsim.SPARCstationSLC,
-	"sun3":  netsim.Sun3_100,
-	"hp1":   netsim.HP9000_433s,
-	"hp2":   netsim.HP9000_385,
-	"vax":   netsim.VAXstation2000,
-}
 
 func main() {
 	netSpec := flag.String("net", "sun3,hp1,sparc,vax", "comma-separated machine list")
@@ -46,27 +35,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(1)
 	}
-	var machines []netsim.MachineModel
-	for _, name := range strings.Split(*netSpec, ",") {
-		m, ok := machineSpecs[strings.TrimSpace(name)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "emrun: unknown machine %q (have sparc, sun3, hp1, hp2, vax)\n", name)
-			os.Exit(2)
-		}
-		machines = append(machines, m)
+	machines, err := core.ParseNetwork(*netSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", err)
+		os.Exit(2)
 	}
-	var cm kernel.ConvMode
-	switch *mode {
-	case "enhanced":
-		cm = kernel.ModeEnhanced
-	case "original":
-		cm = kernel.ModeOriginal
-	case "batched":
-		cm = kernel.ModeEnhancedBatched
-	case "fastpath":
-		cm = kernel.ModeEnhancedFastPath
-	default:
-		fmt.Fprintf(os.Stderr, "emrun: unknown mode %q\n", *mode)
+	cm, err := core.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(2)
 	}
 	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad}

@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/ir"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/lang/parser"
 	"repro/internal/lang/types"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Diagnostics flattens a Compile error into one line per diagnostic. Parse
@@ -111,6 +113,49 @@ func Figure1Network() []netsim.MachineModel {
 	}
 }
 
+// machineSpecs maps CLI machine names to their models (shared by the emrun
+// and emtrace drivers).
+var machineSpecs = map[string]netsim.MachineModel{
+	"sparc": netsim.SPARCstationSLC,
+	"sun3":  netsim.Sun3_100,
+	"hp1":   netsim.HP9000_433s,
+	"hp2":   netsim.HP9000_385,
+	"vax":   netsim.VAXstation2000,
+}
+
+// MachineNames is the accepted -net machine list, for usage messages.
+const MachineNames = "sparc, sun3, hp1, hp2, vax"
+
+// ParseNetwork parses a comma-separated machine list (e.g. "sparc,vax")
+// into machine models.
+func ParseNetwork(spec string) ([]netsim.MachineModel, error) {
+	var machines []netsim.MachineModel
+	for _, name := range strings.Split(spec, ",") {
+		m, ok := machineSpecs[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown machine %q (have %s)", name, MachineNames)
+		}
+		machines = append(machines, m)
+	}
+	return machines, nil
+}
+
+// ParseMode parses a conversion-mode name (enhanced, original, batched,
+// fastpath).
+func ParseMode(name string) (kernel.ConvMode, error) {
+	switch name {
+	case "enhanced":
+		return kernel.ModeEnhanced, nil
+	case "original":
+		return kernel.ModeOriginal, nil
+	case "batched":
+		return kernel.ModeEnhancedBatched, nil
+	case "fastpath":
+		return kernel.ModeEnhancedFastPath, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (have enhanced, original, batched, fastpath)", name)
+}
+
 // NewSystem loads prog onto a cluster of the given machines.
 func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Options) (*System, error) {
 	cfg := kernel.DefaultConfig()
@@ -143,6 +188,14 @@ func (s *System) Run() error {
 
 // Output returns everything the program printed, in order.
 func (s *System) Output() string { return s.Cluster.OutputText() }
+
+// Recorder returns the run's observability recorder (events, migration
+// spans, metrics registry; see internal/obs).
+func (s *System) Recorder() *obs.Recorder { return s.Cluster.Rec }
+
+// MetricsSnapshot captures the cluster's metrics at the current simulated
+// instant.
+func (s *System) MetricsSnapshot() obs.Snapshot { return s.Cluster.MetricsSnapshot() }
 
 // Lines returns the printed lines.
 func (s *System) Lines() []string { return s.Cluster.PrintedLines() }

@@ -1,0 +1,121 @@
+// Observability determinism: the emtrace contract is that the same program
+// on the same network produces a byte-identical event stream, metrics
+// snapshot and Chrome trace on every run. Two fresh runs of the kilroy tour
+// are compared byte for byte, and a two-hop trace is pinned against a
+// golden file. Regenerate the golden with
+//
+//	go test ./internal/core -run TestChromeTraceGolden -update
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files")
+
+func kilroySource(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "programs", "kilroy.em"))
+	if err != nil {
+		t.Fatalf("reading kilroy demo: %v", err)
+	}
+	return string(src)
+}
+
+// capture runs src on machines and returns every deterministic export:
+// the rendered event log, the metrics snapshot as JSON, and the Chrome
+// trace.
+func capture(t *testing.T, src string, machines []netsim.MachineModel) (log, metrics, chrome []byte) {
+	t.Helper()
+	sys, err := RunSource(src, machines, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rec := sys.Recorder()
+	if d := rec.Dropped(); d > 0 {
+		t.Fatalf("%d events dropped; ring too small for the workload", d)
+	}
+	var mbuf, cbuf bytes.Buffer
+	if err := obs.WriteMetricsJSON(&mbuf, sys.MetricsSnapshot()); err != nil {
+		t.Fatalf("metrics export: %v", err)
+	}
+	if err := obs.WriteChromeTrace(&cbuf, rec); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	return obs.EventLog(rec), mbuf.Bytes(), cbuf.Bytes()
+}
+
+func TestEventStreamDeterministic(t *testing.T) {
+	src := kilroySource(t)
+	log1, met1, chr1 := capture(t, src, Figure1Network())
+	log2, met2, chr2 := capture(t, src, Figure1Network())
+	if !bytes.Equal(log1, log2) {
+		t.Errorf("event logs differ between identical runs:\nrun1:\n%s\nrun2:\n%s", log1, log2)
+	}
+	if !bytes.Equal(met1, met2) {
+		t.Errorf("metrics snapshots differ between identical runs:\nrun1:\n%s\nrun2:\n%s", met1, met2)
+	}
+	if !bytes.Equal(chr1, chr2) {
+		t.Error("chrome traces differ between identical runs")
+	}
+	if len(log1) == 0 {
+		t.Error("kilroy run produced an empty event log")
+	}
+}
+
+func TestChromeTraceGoldenTwoHop(t *testing.T) {
+	machines := []netsim.MachineModel{netsim.SPARCstationSLC, netsim.VAXstation2000}
+	_, _, chrome := capture(t, kilroySource(t), machines)
+
+	// The golden bytes must stay a well-formed Chrome trace document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if name, ok := ev["name"].(string); ok && ev["ph"] == "X" {
+			switch {
+			case strings.HasPrefix(name, "MD→MI"):
+				phases["conv_out"] = true
+			case strings.HasPrefix(name, "wire"):
+				phases["wire"] = true
+			case strings.HasPrefix(name, "MI→MD"):
+				phases["respec"] = true
+			}
+		}
+	}
+	for _, want := range []string{"conv_out", "wire", "respec"} {
+		if !phases[want] {
+			t.Errorf("two-hop trace is missing a %s phase slice", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "kilroy_two_hop_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, chrome, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(chrome, want) {
+		t.Errorf("chrome trace drifted from golden (run with -update to accept):\ngot %d bytes, want %d bytes", len(chrome), len(want))
+	}
+}

@@ -1,0 +1,151 @@
+// Machine-readable benchmark output.
+//
+// cmd/embench writes one BENCH_<name>.json file per experiment so that CI
+// and plotting scripts can consume the reproduction's numbers without
+// scraping the human tables. Every file pairs the paper's published value
+// (where one exists) with our measured value in the same row. The encoding
+// is deterministic: fixed struct field order, no maps, and no wall-clock
+// fields — the same program on the same simulated network produces
+// byte-identical files on every run.
+
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BenchTable1Row is one Table 1 machine pair: the paper's ms for two thread
+// moves (original and enhanced system, "N/A" where the authors' hardware
+// had died) next to our simulated measurements.
+type BenchTable1Row struct {
+	Pair            string  `json:"pair"`
+	SrcMachine      string  `json:"src_machine"`
+	DstMachine      string  `json:"dst_machine"`
+	PaperOriginalMS string  `json:"paper_original_ms"`
+	PaperEnhancedMS string  `json:"paper_enhanced_ms"`
+	OriginalMS      float64 `json:"original_ms"` // <0: original system can't run this pair
+	EnhancedMS      float64 `json:"enhanced_ms"`
+	OverheadPct     float64 `json:"overhead_pct"` // <0: no original baseline
+	ConvCalls       uint64  `json:"conv_calls_per_two_moves"`
+	WireBytes       uint64  `json:"wire_bytes_per_two_moves"`
+}
+
+// BenchTable1 is the BENCH_table1.json document.
+type BenchTable1 struct {
+	Benchmark string           `json:"benchmark"`
+	Unit      string           `json:"unit"`
+	Workload  string           `json:"workload"`
+	Rows      []BenchTable1Row `json:"rows"`
+}
+
+// BenchTable1Doc converts measured Table 1 cells to the JSON document.
+func BenchTable1Doc(cells []Cell) BenchTable1 {
+	doc := BenchTable1{
+		Benchmark: "table1",
+		Unit:      "ms for two thread moves",
+		Workload:  "Mobile13 (13-variable fragment, 25 round trips)",
+	}
+	for _, c := range cells {
+		doc.Rows = append(doc.Rows, BenchTable1Row{
+			Pair:            c.Pair.Label,
+			SrcMachine:      c.Pair.A.Name,
+			DstMachine:      c.Pair.B.Name,
+			PaperOriginalMS: c.Pair.PaperOriginal,
+			PaperEnhancedMS: c.Pair.PaperEnhanced,
+			OriginalMS:      c.OriginalMS,
+			EnhancedMS:      c.EnhancedMS,
+			OverheadPct:     c.OverheadPct,
+			ConvCalls:       c.ConvCalls,
+			WireBytes:       c.BytesPerMoves,
+		})
+	}
+	return doc
+}
+
+// BenchFig2Row is one level of the thread-state specialization hierarchy.
+// Real (wall-clock) times are deliberately omitted: they vary run to run,
+// and the deterministic work-unit and simulated-time columns carry the
+// figure's claim.
+type BenchFig2Row struct {
+	Level     string  `json:"level"`
+	State     string  `json:"thread_state"`
+	WorkUnits uint64  `json:"work_units"`
+	SimMS     float64 `json:"sim_ms"` // 0 for machine-independent levels
+	Output    string  `json:"output"`
+}
+
+// BenchFig2 is the BENCH_fig2.json document.
+type BenchFig2 struct {
+	Benchmark string         `json:"benchmark"`
+	Claim     string         `json:"claim"`
+	Rows      []BenchFig2Row `json:"rows"`
+}
+
+// BenchFig2Doc converts Figure 2 rows to the JSON document.
+func BenchFig2Doc(rows []Fig2Row) BenchFig2 {
+	doc := BenchFig2{
+		Benchmark: "fig2",
+		Claim:     "same program at every specialization level prints identical output",
+	}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, BenchFig2Row{
+			Level:     r.Level,
+			State:     r.Hardware,
+			WorkUnits: r.Work,
+			SimMS:     r.SimMS,
+			Output:    r.Output,
+		})
+	}
+	return doc
+}
+
+// BenchConvRow is one conversion-mode ablation measurement.
+type BenchConvRow struct {
+	Mode         string  `json:"mode"`
+	MovesMS      float64 `json:"two_move_ms"`
+	ConvCalls    uint64  `json:"conv_calls"`
+	WireBytes    uint64  `json:"wire_bytes"`
+	CallsPerByte float64 `json:"calls_per_byte"`
+}
+
+// BenchConv is the BENCH_conv.json document.
+type BenchConv struct {
+	Benchmark string         `json:"benchmark"`
+	Workload  string         `json:"workload"`
+	Rows      []BenchConvRow `json:"rows"`
+}
+
+// BenchConvDoc converts conversion-study results to the JSON document.
+func BenchConvDoc(rs []ConvResult) BenchConv {
+	doc := BenchConv{
+		Benchmark: "conv",
+		Workload:  "Mobile13 on SPARC<->SPARC",
+	}
+	for _, r := range rs {
+		doc.Rows = append(doc.Rows, BenchConvRow{
+			Mode:         r.Mode.String(),
+			MovesMS:      r.MovesMS,
+			ConvCalls:    r.ConvCalls,
+			WireBytes:    r.WireBytes,
+			CallsPerByte: r.CallsPerByte,
+		})
+	}
+	return doc
+}
+
+// WriteBenchJSON writes doc as indented JSON to dir/BENCH_<name>.json and
+// returns the path. Struct-only documents make the bytes deterministic.
+func WriteBenchJSON(dir, name string, doc any) (string, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("writing %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func sampleCells() []Cell {
+	pairs := Table1Pairs()
+	return []Cell{
+		{Pair: pairs[0], OriginalMS: 38.9, EnhancedMS: 64.8, OverheadPct: 66.4,
+			ConvCalls: 572, BytesPerMoves: 154},
+		{Pair: pairs[1], OriginalMS: -1, EnhancedMS: 121.7, OverheadPct: -1,
+			ConvCalls: 572, BytesPerMoves: 154},
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteBenchJSON(dir, "table1", BenchTable1Doc(sampleCells()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_table1.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc BenchTable1
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_table1.json is not valid JSON: %v", err)
+	}
+	if doc.Benchmark != "table1" || len(doc.Rows) != 2 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	r := doc.Rows[0]
+	if r.Pair != "SPARC<->SPARC" || r.EnhancedMS != 64.8 || r.ConvCalls != 572 {
+		t.Errorf("row 0 did not round-trip: %+v", r)
+	}
+	if doc.Rows[1].OriginalMS != -1 {
+		t.Errorf("inapplicable original cell should stay -1, got %v", doc.Rows[1].OriginalMS)
+	}
+}
+
+func TestBenchJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	cells := sampleCells()
+	p1, err := WriteBenchJSON(dir, "a", BenchTable1Doc(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteBenchJSON(dir, "b", BenchTable1Doc(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Error("identical documents encoded to different bytes")
+	}
+}
+
+func TestBenchFig2ExcludesWallClock(t *testing.T) {
+	rows := []Fig2Row{{Level: "source", Output: "7", WallNS: 12345, Work: 99, Hardware: "machine independent"}}
+	data, err := json.Marshal(BenchFig2Doc(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	row := m["rows"].([]any)[0].(map[string]any)
+	for k := range row {
+		if k == "wall_ns" || k == "WallNS" {
+			t.Error("fig2 JSON must not carry nondeterministic wall-clock fields")
+		}
+	}
+	if row["work_units"].(float64) != 99 {
+		t.Errorf("work_units = %v, want 99", row["work_units"])
+	}
+}
+
+func TestBenchConvDoc(t *testing.T) {
+	rs := []ConvResult{{Mode: kernel.ModeEnhanced, MovesMS: 64.8, ConvCalls: 14872,
+		WireBytes: 8022, CallsPerByte: 1.85}}
+	doc := BenchConvDoc(rs)
+	if doc.Rows[0].Mode != kernel.ModeEnhanced.String() {
+		t.Errorf("mode = %q", doc.Rows[0].Mode)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // GCStats reports one collection.
@@ -166,6 +167,10 @@ func (n *Node) Collect() (GCStats, error) {
 		delete(n.objects, id)
 		n.table[o.TableIdx] = nil
 	}
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvGCCycle, A: uint64(stats.Freed), B: uint64(stats.BytesFreed)})
+	n.cluster.Rec.Metrics().Add("gc_cycles",
+		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 	return stats, nil
 }
 

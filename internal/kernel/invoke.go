@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/wire"
 )
@@ -96,6 +97,11 @@ func (n *Node) invokeRemote(f *Frag, recv *Obj, opName string, args []uint32) {
 	}
 	n.chargeConv(conv, prev)
 	f.Status = FragStateBlockedCall
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvRemoteInvoke, Frag: f.ID, Obj: uint32(recv.OID),
+		B: uint64(recv.LastKnown), Str: opName})
+	n.cluster.Rec.Metrics().Add("remote_invokes",
+		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 	n.sendMsg(recv.LastKnown, &wire.Invoke{
 		Target:     recv.OID,
 		OpName:     opName,
@@ -227,6 +233,11 @@ func (n *Node) forwardIfMoved(src int, target *Obj, p wire.Payload) bool {
 	if target.Resident {
 		return false
 	}
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvProxyForward, Obj: uint32(target.OID),
+		B: uint64(target.LastKnown), Str: p.Kind().String()})
+	n.cluster.Rec.Metrics().Add("proxy_forwards",
+		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 	n.sendMsg(target.LastKnown, p)
 	n.sendMsg(src, &wire.UpdateLoc{Target: target.OID,
 		Node: int32(target.LastKnown), Epoch: target.Epoch})

@@ -20,6 +20,7 @@ import (
 	"repro/internal/codesrv"
 	"repro/internal/ir"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/wire"
 )
@@ -118,8 +119,13 @@ type Config struct {
 	// bus-stop tables or mismatched templates would otherwise corrupt the
 	// first thread that migrates through it.
 	VetOnLoad bool
-	// Trace, when set, receives kernel event lines (for debugging).
+	// Trace, when set, receives kernel event lines (for debugging). It is
+	// installed as a text sink over the structured event stream (see
+	// internal/obs): every emitted event renders as one legacy-style line.
 	Trace func(string)
+	// EventRingCap bounds each node's retained-event ring (0 selects
+	// obs.DefaultRingCap, negative disables event retention).
+	EventRingCap int
 }
 
 // DefaultConfig returns the standard configuration.
@@ -157,6 +163,10 @@ type Cluster struct {
 	CodeSrv *codesrv.Server
 	Nodes   []*Node
 
+	// Rec is the cluster's observability recorder: structured events,
+	// migration spans and the metrics registry (see internal/obs).
+	Rec *obs.Recorder
+
 	Output []OutputLine
 	Faults []Fault
 	seq    uint32
@@ -181,12 +191,18 @@ func NewCluster(prog *codegen.Program, models []netsim.MachineModel, cfg Config)
 		Sim:     netsim.NewSim(),
 		Prog:    prog,
 		CodeSrv: codesrv.New(prog),
+		Rec:     obs.NewRecorder(len(models), cfg.EventRingCap),
+	}
+	if cfg.Trace != nil {
+		c.Rec.SetTextSink(cfg.Trace)
 	}
 	c.Net = netsim.NewNetwork(c.Sim)
+	c.Net.Observer = c.Rec
 	for i, m := range models {
 		n := newNode(c, i, m)
 		c.Nodes = append(c.Nodes, n)
 		c.Net.Attach(i, n.deliver)
+		c.Rec.SetNodeInfo(i, m.Name, arch.ID(m.Arch).String())
 	}
 	return c, nil
 }
@@ -291,10 +307,46 @@ func (c *Cluster) BlockedThreads() []string {
 	return out
 }
 
+// trace emits a cluster-level free-form trace line into the event stream
+// (the text sink renders it; formatting happens at most once).
 func (c *Cluster) trace(format string, args ...any) {
-	if c.Trace != nil {
-		c.Trace(fmt.Sprintf("[%8dµs] %s", c.Sim.Now(), fmt.Sprintf(format, args...)))
+	c.Rec.Textf(int64(c.Sim.Now()), -1, format, args...)
+}
+
+// tracef emits a node-attributed free-form trace line.
+func (n *Node) tracef(format string, args ...any) {
+	n.cluster.Rec.Textf(int64(n.now()), int32(n.ID), format, args...)
+}
+
+// MetricsSnapshot captures the cluster's metrics registry at the current
+// simulated instant, folding in the per-node kernel statistics, per-kind
+// conversion counters, and the network's traffic counters.
+func (c *Cluster) MetricsSnapshot() obs.Snapshot {
+	reg := c.Rec.Metrics()
+	for _, n := range c.Nodes {
+		lbl := obs.NodeLabels(n.ID, n.Spec.ID.String())
+		reg.SetGauge("msgs_sent", lbl, int64(n.MsgsSent))
+		reg.SetGauge("msgs_recv", lbl, int64(n.MsgsRecv))
+		reg.SetGauge("instrs", lbl, int64(n.Instrs))
+		reg.SetGauge("migrations", lbl, int64(n.Migrations))
+		reg.SetGauge("proto_conv_calls", lbl, int64(n.ProtoConvCalls))
+		reg.SetGauge("cpu_cycles", lbl, int64(n.CPU.Cycles))
+		var s wire.Stats
+		s.Add(n.callConv.Stats())
+		s.Add(n.batchConv.Stats())
+		s.Add(n.rawConv.Stats())
+		reg.SetGauge("conv_calls", lbl+",kind=int", int64(s.IntCalls))
+		reg.SetGauge("conv_calls", lbl+",kind=real", int64(s.RealCalls))
+		reg.SetGauge("conv_calls", lbl+",kind=ref", int64(s.RefCalls))
+		reg.SetGauge("conv_values", lbl+",kind=int", int64(s.IntVals))
+		reg.SetGauge("conv_values", lbl+",kind=real", int64(s.RealVals))
+		reg.SetGauge("conv_values", lbl+",kind=ref", int64(s.RefVals))
 	}
+	nc := c.Net.Counters()
+	reg.SetGauge("net_frames", "", int64(nc.Frames))
+	reg.SetGauge("net_wire_bytes", "", int64(nc.Bytes))
+	reg.SetGauge("net_busy_micros", "", int64(nc.BusyMicros))
+	return reg.Snapshot(int64(c.Sim.Now()))
 }
 
 // nextSeq mints a protocol sequence number.

@@ -20,9 +20,39 @@ import (
 	"repro/internal/arch"
 	"repro/internal/busstop"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/wire"
 )
+
+// beginMoveSpan opens an observability span for one outbound hop. The span
+// starts when the node can begin the conversion work (its CPU timeline, not
+// the event instant: everything below happens inside one simulated event).
+func (n *Node) beginMoveSpan(o *Obj, dest int, kind string) *obs.Span {
+	start := n.CPU.FreeAt
+	if now := n.now(); now > start {
+		start = now
+	}
+	return n.cluster.Rec.BeginSpan(int64(start), int32(n.ID), int32(dest),
+		uint32(o.OID), kind)
+}
+
+// finishMoveOut closes the source side of a hop: records the MD→MI phase
+// from the converter-stat delta, emits the migrate-out and conversion
+// events, and bumps the per-arch-pair migration counter.
+func (n *Node) finishMoveOut(sp *obs.Span, o *Obj, dest int, conv wire.Converter, prev wire.Stats) {
+	cur := conv.Stats()
+	sp.ConvOutCalls = cur.Calls - prev.Calls
+	sp.ConvOutBytes = cur.Bytes - prev.Bytes
+	sp.ConvOutEnd = int64(n.CPU.FreeAt)
+	rec := n.cluster.Rec
+	rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvConvOut,
+		Span: sp.ID, Obj: uint32(o.OID), A: sp.ConvOutCalls, B: sp.ConvOutBytes})
+	rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvMigrateOut,
+		Span: sp.ID, Obj: uint32(o.OID), A: uint64(sp.Frags), B: uint64(dest), Str: sp.ObjKind})
+	rec.Metrics().Add("migrations_pair", fmt.Sprintf("src=%s,dst=%s",
+		n.Spec.ID, n.cluster.Nodes[dest].Spec.ID), 1)
+}
 
 // frameInfo is one activation during a stack walk (youngest first).
 type frameInfo struct {
@@ -180,6 +210,7 @@ func (n *Node) moveObject(o *Obj, dest int, fix bool) {
 
 // moveArray ships an array's elements.
 func (n *Node) moveArray(o *Obj, dest int, fix bool) {
+	sp := n.beginMoveSpan(o, dest, "array")
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[dest].Spec.ID)
 	prev := conv.Stats()
@@ -193,10 +224,13 @@ func (n *Node) moveArray(o *Obj, dest int, fix bool) {
 	}
 	n.chargeConv(conv, prev)
 	o.Epoch++
-	n.sendMsg(dest, &wire.Move{
+	n.finishMoveOut(sp, o, dest, conv, prev)
+	bytes, sendAt := n.sendMsg(dest, &wire.Move{
 		Object: o.OID, IsArray: true, ArrayElemKind: byte(o.ElemKind),
 		Epoch: o.Epoch, Data: data, Fixed: fix, Hints: n.collectHints(data),
+		SpanID: sp.ID,
 	})
+	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 	o.Resident = false
 	o.LastKnown = dest
 	n.Migrations++
@@ -206,6 +240,7 @@ func (n *Node) moveArray(o *Obj, dest int, fix bool) {
 // resident copy under the same OID while the source keeps its own (§3.2:
 // "immutable objects ... can be moved to another processor by duplication").
 func (n *Node) moveImmutable(o *Obj, dest int) {
+	sp := n.beginMoveSpan(o, dest, "immutable")
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[dest].Spec.ID)
 	prev := conv.Stats()
@@ -219,10 +254,12 @@ func (n *Node) moveImmutable(o *Obj, dest int) {
 		data[i] = v
 	}
 	n.chargeConv(conv, prev)
-	n.sendMsg(dest, &wire.Move{
+	n.finishMoveOut(sp, o, dest, conv, prev)
+	bytes, sendAt := n.sendMsg(dest, &wire.Move{
 		Object: o.OID, CodeOID: o.Code.oc.CodeOID, Data: data,
-		Hints: n.collectHints(data),
+		Hints: n.collectHints(data), SpanID: sp.ID,
 	})
+	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 	n.Migrations++
 }
 
@@ -279,6 +316,10 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 			plans = append(plans, fragPlan{frag: fr, frames: frames, runs: runs})
 		}
 	}
+
+	// The move will happen: open its observability span (deferred moves
+	// above never reach here, so no abandoned spans).
+	sp := n.beginMoveSpan(o, dest, "plain")
 
 	// Build wire fragments and restructure local stacks.
 	var wireFrags []wire.Fragment
@@ -367,8 +408,12 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 				}
 				for k := seg.a; k <= seg.b; k++ {
 					act, vs := n.marshalFrame(conv, frames[k])
+					n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+						Kind: obs.EvThreadStop, Span: sp.ID, Frag: fr.ID,
+						Obj: uint32(o.OID), A: uint64(act.Stop), Str: frames[k].lf.name()})
 					wf.Acts = append(wf.Acts, act)
 					refs = append(refs, vs...)
+					sp.Acts++
 				}
 				wireFrags = append(wireFrags, wf)
 			} else {
@@ -413,9 +458,10 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 
 	// Monitor state: map holder/queues to shipped piece IDs.
 	o.Epoch++
+	sp.Frags = len(wireFrags)
 	msg := &wire.Move{
 		Object: o.OID, CodeOID: o.Code.oc.CodeOID, Epoch: o.Epoch, Fixed: fix,
-		Data: data, Frags: wireFrags,
+		Data: data, Frags: wireFrags, SpanID: sp.ID,
 	}
 	if o.Mon != nil {
 		if o.Mon.Holder != nil {
@@ -435,7 +481,9 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 	}
 	msg.Hints = n.collectHints(refs)
 	n.chargeConv(conv, prev)
-	n.sendMsg(dest, msg)
+	n.finishMoveOut(sp, o, dest, conv, prev)
+	bytes, sendAt := n.sendMsg(dest, msg)
+	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 
 	// The object becomes a remote proxy here; stale machine addresses keep
 	// resolving to it through byAddr.
@@ -585,8 +633,26 @@ func (n *Node) marshalFrame(conv wire.Converter, fi frameInfo) (wire.MIActivatio
 
 // ---------------------------------------------------------------- receive
 
+// finishMoveIn closes the destination side of a hop's span (MI→MD
+// respecialization, measured on this node's CPU timeline) and emits the
+// conversion and migrate-in events.
+func (n *Node) finishMoveIn(src int, p *wire.Move, conv wire.Converter, prev wire.Stats, respecStart int64) {
+	cur := conv.Stats()
+	calls := cur.Calls - prev.Calls
+	rec := n.cluster.Rec
+	rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvConvIn,
+		Span: p.SpanID, Obj: uint32(p.Object), A: calls, B: cur.Bytes - prev.Bytes})
+	rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvMigrateIn,
+		Span: p.SpanID, Obj: uint32(p.Object), B: uint64(src)})
+	rec.SpanRespec(p.SpanID, respecStart, int64(n.CPU.FreeAt), calls)
+}
+
 // recvMove installs a migrated object and its thread fragments.
 func (n *Node) recvMove(src int, p *wire.Move) {
+	respecStart := int64(n.CPU.FreeAt)
+	if now := int64(n.now()); now > respecStart {
+		respecStart = now
+	}
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[src].Spec.ID)
 	prev := conv.Stats()
@@ -598,6 +664,7 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 	if p.IsArray {
 		n.installArray(src, p, conv, hints)
 		n.chargeConv(conv, prev)
+		n.finishMoveIn(src, p, conv, prev, respecStart)
 		return
 	}
 
@@ -653,6 +720,7 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 		}
 	}
 	n.chargeConv(conv, prev)
+	n.finishMoveIn(src, p, conv, prev, respecStart)
 }
 
 // installArray materializes a migrated array.
@@ -835,5 +903,8 @@ func (n *Node) installFragment(src int, wf *wire.Fragment, obj *Obj,
 		f.Status = FragStateWaitCond
 		f.condIndex = wf.CondIndex
 	}
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvThreadResume, Frag: f.ID, Obj: uint32(obj.OID),
+		A: uint64(len(wf.Acts))})
 	return f
 }

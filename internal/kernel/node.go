@@ -10,6 +10,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/ir"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/vet"
 	"repro/internal/wire"
@@ -362,6 +363,8 @@ func (n *Node) enqueue(f *Frag) {
 	}
 	f.queued = true
 	n.runq = append(n.runq, f)
+	n.cluster.Rec.Metrics().Observe("runq_depth",
+		obs.NodeLabels(n.ID, n.Spec.ID.String()), uint64(len(n.runq)))
 	n.schedule()
 }
 
@@ -424,7 +427,9 @@ func (n *Node) runSlice(f *Frag) {
 // fault kills a thread with a runtime error, releasing any held monitor.
 func (n *Node) fault(f *Frag, msg string) {
 	n.cluster.Faults = append(n.cluster.Faults, Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg})
-	n.cluster.trace("node%d frag%08x FAULT: %s", n.ID, f.ID, msg)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvFault,
+		Frag: f.ID, Str: msg})
+	n.cluster.Rec.Metrics().Add("faults", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 	// Propagate to a remote caller if one is waiting.
 	if f.Link.Node >= 0 {
 		n.sendMsg(int(f.Link.Node), &wire.Return{
@@ -478,18 +483,24 @@ func (n *Node) protoConvCharge(peer int, bytes int) {
 }
 
 // sendMsg serializes and transmits a protocol message, charging the sender.
-func (n *Node) sendMsg(dst int, p wire.Payload) {
+// It returns the serialized size and the instant the sender CPU finished
+// marshalling (transmission start; migration spans record both).
+func (n *Node) sendMsg(dst int, p wire.Payload) (int, netsim.Micros) {
 	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.cluster.nextSeq(), Payload: p}
 	buf := m.Marshal()
 	n.charge(uint64(n.cluster.Costs.SendCycles) +
 		uint64(n.cluster.Costs.PerByteCycles)*uint64(len(buf)))
 	n.protoConvCharge(dst, len(buf))
 	n.MsgsSent++
-	n.cluster.trace("node%d -> node%d %s (%d bytes)", n.ID, dst, p.Kind(), len(buf))
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvWireSend,
+		A: uint64(len(buf)), B: uint64(dst), Str: p.Kind().String()})
+	n.cluster.Rec.Metrics().Add("msg_bytes", "msg="+p.Kind().String(), uint64(len(buf)))
+	n.cluster.Rec.Metrics().Add("msgs", "msg="+p.Kind().String(), 1)
 	// Transmission starts once the CPU has finished marshalling.
 	if err := n.cluster.Net.Send(n.ID, dst, buf, n.CPU.FreeAt); err != nil {
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
+	return len(buf), n.CPU.FreeAt
 }
 
 // deliver is the network receive handler.
@@ -502,7 +513,11 @@ func (n *Node) deliver(src int, buf []byte) {
 	if err != nil {
 		panic(fmt.Sprintf("kernel: node %d: bad message from %d: %v", n.ID, src, err))
 	}
-	n.cluster.trace("node%d <- node%d %s", n.ID, src, m.Payload.Kind())
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvWireRecv,
+		A: uint64(len(buf)), B: uint64(src), Str: m.Payload.Kind().String()})
+	if mv, ok := m.Payload.(*wire.Move); ok {
+		n.cluster.Rec.SpanArrived(mv.SpanID, int64(n.now()))
+	}
 	n.handleMsg(int(m.Src), m.Payload)
 }
 

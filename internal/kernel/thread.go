@@ -11,6 +11,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/busstop"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/wire"
 )
@@ -548,7 +549,7 @@ func (n *Node) handlePrint(f *Frag, tr *arch.Trap) {
 		text += p
 	}
 	n.cluster.Output = append(n.cluster.Output, OutputLine{Node: n.ID, At: n.now(), Text: text})
-	n.cluster.trace("node%d print: %s", n.ID, text)
+	n.tracef("node%d print: %s", n.ID, text)
 }
 
 func (n *Node) handleStrOf(f *Frag, tr *arch.Trap) {
@@ -597,6 +598,10 @@ func (n *Node) monAcquire(f *Frag, obj *Obj) bool {
 	}
 	f.Status = FragStateBlockedEntry
 	m.Entry = append(m.Entry, f)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvMonitorBlock, Frag: f.ID, Obj: uint32(obj.OID)})
+	n.cluster.Rec.Metrics().Add("monitor_contention",
+		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 	return false
 }
 
@@ -649,6 +654,8 @@ func (n *Node) handleWait(f *Frag) {
 	f.Status = FragStateWaitCond
 	f.condIndex = uint16(k)
 	obj.Mon.Conds[k] = append(obj.Mon.Conds[k], f)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvMonitorWait, Frag: f.ID, Obj: uint32(obj.OID), A: uint64(k)})
 	n.monRelease(obj)
 }
 
@@ -666,6 +673,8 @@ func (n *Node) handleSignal(f *Frag) {
 		n.fault(f, "signal without holding the monitor")
 		return
 	}
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvMonitorSignal, Frag: f.ID, Obj: uint32(obj.OID), A: uint64(k)})
 	q := obj.Mon.Conds[k]
 	if len(q) > 0 {
 		w := q[0]

@@ -144,10 +144,38 @@ type Network struct {
 	mediumFree Micros
 	handlers   map[int]Handler
 
+	// Observer, when set, sees every frame the medium carries (the
+	// observability recorder implements it; see internal/obs).
+	Observer FrameObserver
+
 	// Counters.
 	Frames     uint64
 	Bytes      uint64
 	PayloadLen uint64
+	// BusyMicros accumulates serialization time on the shared medium (the
+	// network's utilization clock).
+	BusyMicros Micros
+}
+
+// FrameObserver receives frame-level events. xmitMicros is the frame's
+// serialization time on the medium; at is the simulated send instant.
+type FrameObserver interface {
+	OnFrame(at int64, src, dst int, payload, frame int, xmitMicros int64)
+}
+
+// Counters is a snapshot of the network's traffic counters.
+type Counters struct {
+	Frames     uint64
+	Bytes      uint64
+	PayloadLen uint64
+	BusyMicros Micros
+}
+
+// Counters returns the current traffic counters (readable at any simulated
+// instant; ResetCounters zeroes them).
+func (n *Network) Counters() Counters {
+	return Counters{Frames: n.Frames, Bytes: n.Bytes,
+		PayloadLen: n.PayloadLen, BusyMicros: n.BusyMicros}
 }
 
 // NewNetwork returns an Ethernet-like network on sim.
@@ -182,6 +210,10 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 	n.Bytes += uint64(size)
 	n.PayloadLen += uint64(len(payload))
 	xmit := Micros(float64(size*8) / n.BitsPerSecond * 1e6)
+	n.BusyMicros += xmit
+	if n.Observer != nil {
+		n.Observer.OnFrame(int64(n.sim.Now()), src, dst, len(payload), size, int64(xmit))
+	}
 	start := n.sim.Now()
 	if earliest > start {
 		start = earliest
@@ -198,7 +230,7 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 
 // ResetCounters zeroes the traffic counters.
 func (n *Network) ResetCounters() {
-	n.Frames, n.Bytes, n.PayloadLen = 0, 0, 0
+	n.Frames, n.Bytes, n.PayloadLen, n.BusyMicros = 0, 0, 0, 0
 }
 
 // ---------------------------------------------------------------- machines

@@ -1,0 +1,337 @@
+// Package obs is the runtime's deterministic observability subsystem:
+// structured trace events stamped with simulated time, per-migration spans
+// that attribute each hop's latency to its phases (MD→MI conversion, wire,
+// MI→MD respecialization — the breakdown behind the paper's Table 1), and a
+// metrics registry of counters/gauges/histograms keyed by node and ISA.
+//
+// Everything here is driven by the discrete-event simulation: the same
+// program on the same topology produces a byte-identical event stream and
+// metrics snapshot on every run (asserted by test). The package deliberately
+// imports nothing from the rest of the runtime — times are raw simulated
+// microseconds (int64) and object identities are raw OID bits (uint32) — so
+// every layer (netsim, wire, kernel, core) can emit into it without import
+// cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a structured event type.
+type Kind uint8
+
+// Event kinds. The order is part of the (internal) stream format; new kinds
+// go at the end.
+const (
+	// EvText is a free-form kernel trace line (the legacy Trace hook is a
+	// text sink over the event stream; lines that have no typed event yet
+	// travel as EvText).
+	EvText Kind = iota + 1
+	// EvThreadStop: a thread's activation was observed stopped at bus stop
+	// A of function Str (during migration marshalling). Frag/Obj identify
+	// the thread piece and the migrating object.
+	EvThreadStop
+	// EvThreadResume: a migrated-in thread fragment was re-specialized and
+	// rescheduled; A is the number of activation records installed.
+	EvThreadResume
+	// EvConvOut: an MD→MI conversion batch completed on Node; A is the
+	// number of conversion-procedure calls, B the converted bytes.
+	EvConvOut
+	// EvConvIn: an MI→MD conversion batch completed (same payload as
+	// EvConvOut).
+	EvConvIn
+	// EvWireSend: Node sent a protocol message of kind Str to node B; A is
+	// the serialized payload length.
+	EvWireSend
+	// EvWireRecv: Node received a message of kind Str from node B; A is the
+	// payload length.
+	EvWireRecv
+	// EvNetFrame: the shared medium carried a frame of A bytes (B payload
+	// bytes) from Node; Span holds the transmission time in µs.
+	EvNetFrame
+	// EvMigrateOut: Node began migrating object Obj to node B (span Span);
+	// Str is the object kind (plain/array/immutable), A the fragment count.
+	EvMigrateOut
+	// EvMigrateIn: Node finished installing object Obj from node B (span
+	// Span).
+	EvMigrateIn
+	// EvRemoteInvoke: Node sent operation Str on object Obj to node B.
+	EvRemoteInvoke
+	// EvProxyForward: Node forwarded a message about Obj (kind Str) along
+	// its forwarding address to node B.
+	EvProxyForward
+	// EvMonitorWait: Frag waited on condition A of object Obj.
+	EvMonitorWait
+	// EvMonitorSignal: Frag signalled condition A of object Obj.
+	EvMonitorSignal
+	// EvMonitorBlock: Frag blocked at monitor entry of Obj (contention).
+	EvMonitorBlock
+	// EvGCCycle: a collection on Node freed A objects (B bytes).
+	EvGCCycle
+	// EvFault: a thread died; Str is the message.
+	EvFault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvText:
+		return "text"
+	case EvThreadStop:
+		return "thread-stop"
+	case EvThreadResume:
+		return "thread-resume"
+	case EvConvOut:
+		return "conv-out"
+	case EvConvIn:
+		return "conv-in"
+	case EvWireSend:
+		return "wire-send"
+	case EvWireRecv:
+		return "wire-recv"
+	case EvNetFrame:
+		return "net-frame"
+	case EvMigrateOut:
+		return "migrate-out"
+	case EvMigrateIn:
+		return "migrate-in"
+	case EvRemoteInvoke:
+		return "remote-invoke"
+	case EvProxyForward:
+		return "proxy-forward"
+	case EvMonitorWait:
+		return "monitor-wait"
+	case EvMonitorSignal:
+		return "monitor-signal"
+	case EvMonitorBlock:
+		return "monitor-block"
+	case EvGCCycle:
+		return "gc-cycle"
+	case EvFault:
+		return "fault"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one structured trace event. Field meaning depends on Kind (see
+// the kind constants); unused fields are zero. At is simulated microseconds,
+// Seq a global emission order (the simulation is single-threaded, so Seq is
+// deterministic).
+type Event struct {
+	Seq  uint64
+	At   int64
+	Node int32
+	Kind Kind
+	Span uint32 // migration span id (0: none)
+	Frag uint32 // thread fragment id (0: none)
+	Obj  uint32 // object identity bits (0: none)
+	A, B uint64 // kind-specific scalars
+	Str  string // kind-specific label
+}
+
+// Text renders the event as a legacy-style kernel trace line (without the
+// timestamp prefix, which the sink adds).
+func (e Event) Text() string {
+	switch e.Kind {
+	case EvText:
+		return e.Str
+	case EvThreadStop:
+		return fmt.Sprintf("node%d frag%08x stopped at bus stop %d in %s", e.Node, e.Frag, e.A, e.Str)
+	case EvThreadResume:
+		return fmt.Sprintf("node%d frag%08x resumed (%d records respecialized)", e.Node, e.Frag, e.A)
+	case EvConvOut:
+		return fmt.Sprintf("node%d MD->MI conversion: %d calls, %d bytes", e.Node, e.A, e.B)
+	case EvConvIn:
+		return fmt.Sprintf("node%d MI->MD conversion: %d calls, %d bytes", e.Node, e.A, e.B)
+	case EvWireSend:
+		return fmt.Sprintf("node%d -> node%d %s (%d bytes)", e.Node, e.B, e.Str, e.A)
+	case EvWireRecv:
+		return fmt.Sprintf("node%d <- node%d %s (%d bytes)", e.Node, e.B, e.Str, e.A)
+	case EvNetFrame:
+		return fmt.Sprintf("net: frame from node%d, %d bytes (%d payload), %dµs on the medium", e.Node, e.A, e.B, e.Span)
+	case EvMigrateOut:
+		return fmt.Sprintf("node%d migrate-out obj%08x -> node%d (%s, %d frags, span %d)", e.Node, e.Obj, e.B, e.Str, e.A, e.Span)
+	case EvMigrateIn:
+		return fmt.Sprintf("node%d migrate-in obj%08x <- node%d (span %d)", e.Node, e.Obj, e.B, e.Span)
+	case EvRemoteInvoke:
+		return fmt.Sprintf("node%d remote invoke %s on obj%08x at node%d", e.Node, e.Str, e.Obj, e.B)
+	case EvProxyForward:
+		return fmt.Sprintf("node%d forwarded %s about obj%08x to node%d", e.Node, e.Str, e.Obj, e.B)
+	case EvMonitorWait:
+		return fmt.Sprintf("node%d frag%08x wait on cond %d of obj%08x", e.Node, e.Frag, e.A, e.Obj)
+	case EvMonitorSignal:
+		return fmt.Sprintf("node%d frag%08x signal cond %d of obj%08x", e.Node, e.Frag, e.A, e.Obj)
+	case EvMonitorBlock:
+		return fmt.Sprintf("node%d frag%08x blocked at monitor entry of obj%08x", e.Node, e.Frag, e.Obj)
+	case EvGCCycle:
+		return fmt.Sprintf("node%d gc: freed %d objects (%d bytes)", e.Node, e.A, e.B)
+	case EvFault:
+		return fmt.Sprintf("node%d frag%08x FAULT: %s", e.Node, e.Frag, e.Str)
+	}
+	return fmt.Sprintf("node%d %s", e.Node, e.Kind)
+}
+
+// ring is a bounded per-node event buffer: the most recent cap events.
+type ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+}
+
+func (r *ring) push(e Event) {
+	if cap(r.buf) == 0 {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.wrapped = true
+}
+
+// all returns the retained events oldest first.
+func (r *ring) all() []Event {
+	if !r.wrapped {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// NodeInfo labels one node in exports.
+type NodeInfo struct {
+	Name string // machine model name
+	Arch string // ISA name
+}
+
+// DefaultRingCap bounds each node's event ring when the caller does not
+// choose a capacity.
+const DefaultRingCap = 8192
+
+// Recorder collects events, spans and metrics for one cluster. It is not
+// safe for concurrent use; the discrete-event simulation is single-threaded.
+type Recorder struct {
+	nodes   []NodeInfo
+	rings   []ring
+	cluster ring // events with Node < 0 (cluster-level text)
+	spans   []*Span
+	seq     uint64
+	dropped uint64
+	reg     *Registry
+	sink    func(string)
+}
+
+// NewRecorder returns a recorder for n nodes with per-node rings of ringCap
+// events (0 selects DefaultRingCap; negative disables event retention while
+// keeping spans and metrics).
+func NewRecorder(n, ringCap int) *Recorder {
+	if ringCap == 0 {
+		ringCap = DefaultRingCap
+	}
+	if ringCap < 0 {
+		ringCap = 0
+	}
+	r := &Recorder{
+		nodes: make([]NodeInfo, n),
+		rings: make([]ring, n),
+		reg:   NewRegistry(),
+	}
+	for i := range r.rings {
+		r.rings[i].buf = make([]Event, 0, ringCap)
+	}
+	r.cluster.buf = make([]Event, 0, min(ringCap, 1024))
+	return r
+}
+
+// SetNodeInfo labels node i for exports.
+func (r *Recorder) SetNodeInfo(i int, name, arch string) {
+	if i >= 0 && i < len(r.nodes) {
+		r.nodes[i] = NodeInfo{Name: name, Arch: arch}
+	}
+}
+
+// Node returns node i's label.
+func (r *Recorder) Node(i int) NodeInfo {
+	if i >= 0 && i < len(r.nodes) {
+		return r.nodes[i]
+	}
+	return NodeInfo{Name: fmt.Sprintf("node%d", i)}
+}
+
+// NumNodes returns the node count.
+func (r *Recorder) NumNodes() int { return len(r.nodes) }
+
+// Metrics returns the registry.
+func (r *Recorder) Metrics() *Registry { return r.reg }
+
+// SetTextSink installs a line sink that receives every event rendered as a
+// legacy trace line (the old kernel Trace hook).
+func (r *Recorder) SetTextSink(f func(string)) { r.sink = f }
+
+// TextActive reports whether a text sink is installed (callers can skip
+// building expensive text when false and no ring retains events).
+func (r *Recorder) TextActive() bool { return r.sink != nil }
+
+// Emit records one event: stamps the sequence number, appends to the node's
+// bounded ring, and renders to the text sink if one is installed.
+func (r *Recorder) Emit(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	if e.Node >= 0 && int(e.Node) < len(r.rings) {
+		rg := &r.rings[e.Node]
+		if rg.wrapped || len(rg.buf) == cap(rg.buf) {
+			r.dropped++
+		}
+		rg.push(e)
+	} else {
+		r.cluster.push(e)
+	}
+	if r.sink != nil {
+		r.sink(fmt.Sprintf("[%8dµs] %s", e.At, e.Text()))
+	}
+}
+
+// Textf emits a free-form trace line as an EvText event. The line is only
+// formatted once, and only when something retains or renders it.
+func (r *Recorder) Textf(at int64, node int32, format string, args ...any) {
+	if r.sink == nil && len(r.rings) > 0 && cap(r.rings[0].buf) == 0 {
+		return
+	}
+	r.Emit(Event{At: at, Node: node, Kind: EvText, Str: fmt.Sprintf(format, args...)})
+}
+
+// Dropped reports how many events were evicted from full rings (coverage
+// caps are never silent).
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Events returns every retained event in emission order (per-node rings and
+// cluster-level events merged by sequence number).
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for i := range r.rings {
+		out = append(out, r.rings[i].all()...)
+	}
+	out = append(out, r.cluster.all()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// OnFrame implements netsim's FrameObserver: the shared medium carried a
+// frame. xmitMicros is the serialization time on the medium. Aggregate
+// traffic counters come from netsim.Network.Counters at snapshot time; the
+// observer only contributes the per-frame event.
+func (r *Recorder) OnFrame(at int64, src, dst int, payload, frame int, xmitMicros int64) {
+	r.Emit(Event{At: at, Node: int32(src), Kind: EvNetFrame,
+		A: uint64(frame), B: uint64(payload), Span: uint32(xmitMicros)})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

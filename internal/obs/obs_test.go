@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingBounded(t *testing.T) {
+	r := NewRecorder(1, 4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{At: int64(i), Node: 0, Kind: EvText, Str: "x"})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(evs))
+	}
+	// Oldest retained is event 7 (seq starts at 1; 10 emitted, keep last 4).
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Errorf("retained seqs %d..%d, want 7..10", evs[0].Seq, evs[3].Seq)
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestEventsMergeBySeq(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.Emit(Event{Node: 1, Kind: EvText, Str: "a"})
+	r.Emit(Event{Node: 0, Kind: EvText, Str: "b"})
+	r.Emit(Event{Node: -1, Kind: EvText, Str: "c"})
+	r.Emit(Event{Node: 1, Kind: EvText, Str: "d"})
+	var got []string
+	for _, e := range r.Events() {
+		got = append(got, e.Str)
+	}
+	if strings.Join(got, "") != "abcd" {
+		t.Errorf("merged order %v", got)
+	}
+}
+
+func TestTextSinkSeesEveryEvent(t *testing.T) {
+	r := NewRecorder(1, 8)
+	var lines []string
+	r.SetTextSink(func(s string) { lines = append(lines, s) })
+	r.Emit(Event{At: 42, Node: 0, Kind: EvWireSend, A: 100, B: 1, Str: "move"})
+	r.Textf(43, 0, "node%d print: %s", 0, "hi")
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "node0 -> node1 move (100 bytes)") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "42µs") {
+		t.Errorf("line 0 lacks timestamp: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "node0 print: hi") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 1, 3, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Max != 1<<40 {
+		t.Fatalf("count=%d max=%d", h.Count, h.Max)
+	}
+	// v=0 → bucket 0; v=1 → bucket 1; v=3 → bucket 2; v=100 → bucket 7;
+	// huge → clamped to the last bucket.
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[2] != 1 ||
+		h.Buckets[7] != 1 || h.Buckets[NumHistBuckets-1] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("zz", "node=1", 2)
+	reg.Add("aa", "", 1)
+	reg.Add("mm", "node=0,arch=vax", 3)
+	reg.SetGauge("g", "node=0", -5)
+	reg.Observe("h", "", 7)
+	s := reg.Snapshot(99)
+	if s.AtMicros != 99 {
+		t.Fatalf("at = %d", s.AtMicros)
+	}
+	if len(s.Counters) != 3 || s.Counters[0].Name != "aa" ||
+		s.Counters[1].Name != "mm" || s.Counters[2].Name != "zz" {
+		t.Errorf("counters unsorted: %+v", s.Counters)
+	}
+	if s.Counters[1].Labels != "node=0,arch=vax" || s.Counters[1].Value != 3 {
+		t.Errorf("labels lost: %+v", s.Counters[1])
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != -5 {
+		t.Errorf("gauges: %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 || s.Histograms[0].Sum != 7 {
+		t.Errorf("hists: %+v", s.Histograms)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder(2, 8)
+	s := r.BeginSpan(1000, 0, 1, 0xabc, "plain")
+	s.ConvOutEnd = 1500
+	s.ConvOutCalls = 40
+	s.Frags, s.Acts = 1, 2
+	r.SpanSent(s.ID, 256, 1500)
+	r.SpanArrived(s.ID, 2100)
+	r.SpanRespec(s.ID, 2100, 2600, 38)
+	got := r.Span(s.ID)
+	if got == nil || !got.Done {
+		t.Fatal("span not closed")
+	}
+	if got.ConvOutMicros() != 500 || got.WireMicros() != 600 || got.RespecMicros() != 500 {
+		t.Errorf("phases: conv=%d wire=%d respec=%d",
+			got.ConvOutMicros(), got.WireMicros(), got.RespecMicros())
+	}
+	if got.TotalMicros() != 1600 {
+		t.Errorf("total = %d", got.TotalMicros())
+	}
+	if r.Span(0) != nil || r.Span(99) != nil {
+		t.Error("bogus span ids resolved")
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.SetNodeInfo(0, "SPARCstation SLC", "sparc")
+	r.SetNodeInfo(1, "VAXstation 2000", "vax")
+	s := r.BeginSpan(0, 0, 1, 7, "plain")
+	s.ConvOutEnd = 100
+	r.SpanSent(s.ID, 64, 100)
+	r.SpanArrived(s.ID, 400)
+	r.SpanRespec(s.ID, 400, 450, 9)
+	r.Emit(Event{At: 10, Node: 0, Kind: EvRemoteInvoke, Obj: 7, B: 1, Str: "ping"})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"MD→MI convert obj00000007 plain"`, `"wire obj00000007 plain"`,
+		`"MI→MD respecialize obj00000007 plain"`,
+		`"invoke ping"`, `"node0 SPARCstation SLC (sparc)"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+	// Same recorder exports identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("chrome export is not deterministic")
+	}
+}

@@ -535,6 +535,9 @@ type Move struct {
 	CondQueues [][]uint32
 	Frags      []Fragment
 	Hints      []LocHint
+	// SpanID is the sender's migration-span identifier (observability): the
+	// destination closes the span it names. Zero means untraced.
+	SpanID uint32
 }
 
 // Kind implements Payload.
@@ -578,6 +581,7 @@ func (p *Move) marshal(e *Enc) {
 		e.OID(h.OID)
 		e.I32(h.Node)
 	}
+	e.U32(p.SpanID)
 }
 
 func (p *Move) unmarshal(d *Dec) {
@@ -617,6 +621,7 @@ func (p *Move) unmarshal(d *Dec) {
 	for i := 0; i < nh; i++ {
 		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
 	}
+	p.SpanID = d.U32()
 }
 
 // Locate asks where an object lives. Nodes that do not hold the object

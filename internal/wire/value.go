@@ -81,11 +81,23 @@ func (v Value) WireSize() int {
 }
 
 // Stats counts conversion work. Calls is the number of conversion-procedure
-// calls (the paper's cost driver); Values and Bytes measure volume.
+// calls (the paper's cost driver); Values and Bytes measure volume. The
+// per-kind fields break both down by wire value kind — the paper's Table 1
+// attributes conversion cost per value kind, and the metrics registry
+// exports them as conv_calls{kind=...}. The struct stays comparable (plain
+// integer fields only) so callers can test against the zero value.
 type Stats struct {
 	Calls  uint64
 	Values uint64
 	Bytes  uint64
+
+	// Per-kind breakdown (ints cover bools/nodes/conditions and raw words).
+	IntCalls  uint64
+	RealCalls uint64
+	RefCalls  uint64
+	IntVals   uint64
+	RealVals  uint64
+	RefVals   uint64
 }
 
 // Add accumulates other into s.
@@ -93,6 +105,27 @@ func (s *Stats) Add(other Stats) {
 	s.Calls += other.Calls
 	s.Values += other.Values
 	s.Bytes += other.Bytes
+	s.IntCalls += other.IntCalls
+	s.RealCalls += other.RealCalls
+	s.RefCalls += other.RefCalls
+	s.IntVals += other.IntVals
+	s.RealVals += other.RealVals
+	s.RefVals += other.RefVals
+}
+
+// chargeKind accounts calls against the per-kind counters.
+func (s *Stats) chargeKind(k WKind, calls int) {
+	switch k {
+	case WReal:
+		s.RealCalls += uint64(calls)
+		s.RealVals++
+	case WRef, WNil:
+		s.RefCalls += uint64(calls)
+		s.RefVals++
+	default:
+		s.IntCalls += uint64(calls)
+		s.IntVals++
+	}
 }
 
 // Converter translates 32-bit machine slots to and from wire values,
@@ -130,27 +163,28 @@ func NewCallConverter() *CallConverter { return &CallConverter{} }
 // Name identifies the converter in benchmark output.
 func (c *CallConverter) Name() string { return "per-value-calls" }
 
-func (c *CallConverter) charge(calls int) {
+func (c *CallConverter) charge(k WKind, calls int) {
 	c.stats.Calls += uint64(calls)
 	c.stats.Values++
 	c.stats.Bytes += 4
+	c.stats.chargeKind(k, calls)
 }
 
 // IntToWire converts an integer machine word.
 func (c *CallConverter) IntToWire(raw uint32) Value {
-	c.charge(2)
+	c.charge(WInt, 2)
 	return IntV(raw)
 }
 
 // RealToWire converts a real in the architecture float format to IEEE bits.
 func (c *CallConverter) RealToWire(bits uint32, f arch.FloatCodec) Value {
-	c.charge(3)
+	c.charge(WReal, 3)
 	return RealBitsV(arch.IEEEFloat{}.Enc(f.Dec(bits)))
 }
 
 // RefToWire converts a swizzled reference.
 func (c *CallConverter) RefToWire(o oid.OID) Value {
-	c.charge(2)
+	c.charge(WRef, 2)
 	if o == oid.Nil {
 		return NilV()
 	}
@@ -159,7 +193,7 @@ func (c *CallConverter) RefToWire(o oid.OID) Value {
 
 // IntFromWire converts back to a machine integer.
 func (c *CallConverter) IntFromWire(v Value) (uint32, error) {
-	c.charge(2)
+	c.charge(WInt, 2)
 	if v.Kind != WInt && v.Kind != WRaw {
 		return 0, fmt.Errorf("wire: %v where int expected", v.Kind)
 	}
@@ -168,7 +202,7 @@ func (c *CallConverter) IntFromWire(v Value) (uint32, error) {
 
 // RealFromWire converts IEEE bits to the architecture float format.
 func (c *CallConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, error) {
-	c.charge(3)
+	c.charge(WReal, 3)
 	if v.Kind != WReal && v.Kind != WRaw {
 		return 0, fmt.Errorf("wire: %v where real expected", v.Kind)
 	}
@@ -180,7 +214,7 @@ func (c *CallConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, error)
 
 // RefFromWire extracts the OID.
 func (c *CallConverter) RefFromWire(v Value) (oid.OID, error) {
-	c.charge(2)
+	c.charge(WRef, 2)
 	switch v.Kind {
 	case WNil:
 		return oid.Nil, nil
@@ -210,27 +244,28 @@ func NewBatchedConverter() *BatchedConverter { return &BatchedConverter{} }
 // Name identifies the converter.
 func (c *BatchedConverter) Name() string { return "batched" }
 
-func (c *BatchedConverter) charge1() {
+func (c *BatchedConverter) charge1(k WKind) {
 	c.stats.Calls++
 	c.stats.Values++
 	c.stats.Bytes += 4
+	c.stats.chargeKind(k, 1)
 }
 
 // IntToWire converts with a single call.
 func (c *BatchedConverter) IntToWire(raw uint32) Value {
-	c.charge1()
+	c.charge1(WInt)
 	return IntV(raw)
 }
 
 // RealToWire converts with a single call.
 func (c *BatchedConverter) RealToWire(bits uint32, f arch.FloatCodec) Value {
-	c.charge1()
+	c.charge1(WReal)
 	return RealBitsV(arch.IEEEFloat{}.Enc(f.Dec(bits)))
 }
 
 // RefToWire converts with a single call.
 func (c *BatchedConverter) RefToWire(o oid.OID) Value {
-	c.charge1()
+	c.charge1(WRef)
 	if o == oid.Nil {
 		return NilV()
 	}
@@ -239,7 +274,7 @@ func (c *BatchedConverter) RefToWire(o oid.OID) Value {
 
 // IntFromWire converts with a single call.
 func (c *BatchedConverter) IntFromWire(v Value) (uint32, error) {
-	c.charge1()
+	c.charge1(WInt)
 	if v.Kind != WInt && v.Kind != WRaw {
 		return 0, fmt.Errorf("wire: %v where int expected", v.Kind)
 	}
@@ -248,7 +283,7 @@ func (c *BatchedConverter) IntFromWire(v Value) (uint32, error) {
 
 // RealFromWire converts with a single call.
 func (c *BatchedConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, error) {
-	c.charge1()
+	c.charge1(WReal)
 	if v.Kind != WReal && v.Kind != WRaw {
 		return 0, fmt.Errorf("wire: %v where real expected", v.Kind)
 	}
@@ -260,7 +295,7 @@ func (c *BatchedConverter) RealFromWire(v Value, f arch.FloatCodec) (uint32, err
 
 // RefFromWire converts with a single call.
 func (c *BatchedConverter) RefFromWire(v Value) (oid.OID, error) {
-	c.charge1()
+	c.charge1(WRef)
 	switch v.Kind {
 	case WNil:
 		return oid.Nil, nil
@@ -284,24 +319,25 @@ func NewRawConverter() *RawConverter { return &RawConverter{} }
 // Name identifies the converter.
 func (c *RawConverter) Name() string { return "raw-homogeneous" }
 
-func (c *RawConverter) bump() {
+func (c *RawConverter) bump(k WKind) {
 	c.stats.Values++
 	c.stats.Bytes += 4
+	c.stats.chargeKind(k, 0)
 }
 
 // IntToWire passes the word through.
-func (c *RawConverter) IntToWire(raw uint32) Value { c.bump(); return RawV(raw) }
+func (c *RawConverter) IntToWire(raw uint32) Value { c.bump(WInt); return RawV(raw) }
 
 // RealToWire passes machine float bits through unconverted.
 func (c *RawConverter) RealToWire(bits uint32, _ arch.FloatCodec) Value {
-	c.bump()
+	c.bump(WReal)
 	return RawV(bits)
 }
 
 // RefToWire still swizzles (references are never raw: object identity must
 // survive even homogeneous moves).
 func (c *RawConverter) RefToWire(o oid.OID) Value {
-	c.bump()
+	c.bump(WRef)
 	if o == oid.Nil {
 		return NilV()
 	}
@@ -310,19 +346,19 @@ func (c *RawConverter) RefToWire(o oid.OID) Value {
 
 // IntFromWire passes through.
 func (c *RawConverter) IntFromWire(v Value) (uint32, error) {
-	c.bump()
+	c.bump(WInt)
 	return v.Bits, nil
 }
 
 // RealFromWire passes through.
 func (c *RawConverter) RealFromWire(v Value, _ arch.FloatCodec) (uint32, error) {
-	c.bump()
+	c.bump(WReal)
 	return v.Bits, nil
 }
 
 // RefFromWire extracts the OID.
 func (c *RawConverter) RefFromWire(v Value) (oid.OID, error) {
-	c.bump()
+	c.bump(WRef)
 	switch v.Kind {
 	case WNil:
 		return oid.Nil, nil

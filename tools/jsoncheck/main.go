@@ -1,0 +1,39 @@
+// Command jsoncheck validates that each argument file parses as JSON and is
+// non-empty. The CI gate uses it to smoke-test the emtrace and embench
+// exports without depending on any tool outside the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+			bad = true
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		if v == nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: empty document\n", path)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
