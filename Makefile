@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke chaos-smoke fuzz-smoke
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,18 @@ benchjson-smoke:
 	mkdir -p .ci
 	$(GO) run ./cmd/embench -out .ci table1 > /dev/null
 	$(GO) run ./tools/jsoncheck .ci/BENCH_table1.json
+
+# The kilroy tour under a seeded fault plan — 5% drops, duplicates,
+# delays, corruption and a mid-tour crash/restart of node 2 — must print
+# exactly what the fault-free run prints (crash-tolerant migration).
+chaos-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/emrun examples/programs/kilroy.em > .ci/kilroy_clean.out
+	$(GO) run ./cmd/emrun -chaos 'seed=7,drop=0.05,dup=0.03,delay=0.05:500us,corrupt=0.02,crash=2@76ms:156ms' \
+		examples/programs/kilroy.em > .ci/kilroy_chaos.out
+	cmp .ci/kilroy_clean.out .ci/kilroy_chaos.out
+
+# The wire decoder fuzz seeds (bounds-checked frame/message parsing) must
+# hold; full fuzzing runs separately with -fuzz.
+fuzz-smoke:
+	$(GO) test -run FuzzMsgDecode ./internal/wire

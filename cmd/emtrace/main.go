@@ -7,11 +7,15 @@
 // Usage:
 //
 //	emtrace [-net spec] [-mode enhanced|original|batched|fastpath]
-//	        [-chrome out.json] [-metrics out.json] [-text] [-spans] file.em
+//	        [-chaos plan] [-chrome out.json] [-metrics out.json]
+//	        [-text] [-spans] file.em
+//	emtrace faults [-net spec] [-mode m] [-chaos plan] file.em
 //
-// With no export flags, emtrace prints the span table. All output is
-// deterministic: the same program on the same network produces identical
-// bytes on every run.
+// With no export flags, emtrace prints the span table. The faults
+// subcommand runs the program under a chaos plan and prints a per-node
+// reconciliation of injected faults against the protocol's recovery
+// actions. All output is deterministic: the same program on the same
+// network with the same plan produces identical bytes on every run.
 package main
 
 import (
@@ -19,23 +23,30 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		os.Args = append(os.Args[:1], os.Args[2:]...)
+		faultsMain()
+		return
+	}
 	netSpec := flag.String("net", "sun3,hp1,sparc,vax", "comma-separated machine list ("+core.MachineNames+")")
 	mode := flag.String("mode", "enhanced", "conversion mode: enhanced, original, batched, fastpath")
+	chaosSpec := flag.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05 (see internal/chaos)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsOut := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
 	text := flag.Bool("text", false, "print the structured event log as text to stdout")
 	spans := flag.Bool("spans", false, "print the migration-span table (default when no other output is selected)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emtrace [-net spec] [-mode m] [-chrome out.json] [-metrics out.json] [-text] [-spans] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emtrace [faults] [-net spec] [-mode m] [-chaos plan] [-chrome out.json] [-metrics out.json] [-text] [-spans] file.em")
 		os.Exit(2)
 	}
-	if err := run(*netSpec, *mode, *chromeOut, *metricsOut, *text, *spans, flag.Arg(0)); err != nil {
+	if err := run(*netSpec, *mode, *chaosSpec, *chromeOut, *metricsOut, *text, *spans, flag.Arg(0)); err != nil {
 		for _, line := range core.Diagnostics(err) {
 			fmt.Fprintln(os.Stderr, "emtrace:", line)
 		}
@@ -43,20 +54,32 @@ func main() {
 	}
 }
 
-func run(netSpec, mode, chromeOut, metricsOut string, text, spans bool, file string) error {
+// runUnder compiles and runs file on the given network under an optional
+// chaos plan (shared by the default mode and the faults subcommand).
+func runUnder(netSpec, mode, chaosSpec, file string) (*core.System, error) {
 	machines, err := core.ParseNetwork(netSpec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cm, err := core.ParseMode(mode)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	opts := core.Options{Mode: cm}
+	if chaosSpec != "" {
+		if opts.Chaos, err = chaos.ParsePlan(chaosSpec); err != nil {
+			return nil, err
+		}
 	}
 	src, err := os.ReadFile(file)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	sys, err := core.RunSource(string(src), machines, core.Options{Mode: cm})
+	return core.RunSource(string(src), machines, opts)
+}
+
+func run(netSpec, mode, chaosSpec, chromeOut, metricsOut string, text, spans bool, file string) error {
+	sys, err := runUnder(netSpec, mode, chaosSpec, file)
 	if err != nil {
 		return err
 	}

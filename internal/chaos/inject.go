@@ -1,0 +1,104 @@
+// The frame-layer injector: implements netsim.Injector, drawing every
+// decision from the plan's seeded PRNG and emitting an obs event plus a
+// metric for each injected fault so recovery is visible in the trace.
+
+package chaos
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// rng is splitmix64: tiny, fast, and fully deterministic across platforms.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Injector implements netsim.Injector for a Plan. It is driven entirely by
+// the deterministic frame sequence, so the same plan on the same run
+// produces the same verdicts.
+type Injector struct {
+	plan *Plan
+	rng  rng
+	rec  *obs.Recorder // may be nil (unit tests)
+
+	// Injected counts verdicts by kind (drop, dup, delay, corrupt,
+	// partition), independent of the recorder.
+	Injected map[string]uint64
+}
+
+// NewInjector returns an injector for plan, reporting into rec (which may
+// be nil).
+func NewInjector(plan *Plan, rec *obs.Recorder) *Injector {
+	return &Injector{
+		plan:     plan,
+		rng:      rng{state: plan.Seed},
+		rec:      rec,
+		Injected: map[string]uint64{},
+	}
+}
+
+// Frame implements netsim.Injector.
+func (in *Injector) Frame(at netsim.Micros, src, dst, payloadLen int) netsim.Verdict {
+	var v netsim.Verdict
+	p := in.plan
+	if in.partitioned(at, src, dst) {
+		v.Drop = true
+		in.note(at, src, dst, "partition")
+		return v
+	}
+	// One draw per fault class per frame, in a fixed order, so the
+	// consumption pattern is a pure function of the frame sequence.
+	if in.rng.float() < p.Drop {
+		v.Drop = true
+		in.note(at, src, dst, "drop")
+	}
+	if in.rng.float() < p.Dup {
+		v.Dup = true
+		v.DupDelay = 1 + netsim.Micros(in.rng.next()%64)
+		in.note(at, src, dst, "dup")
+	}
+	if in.rng.float() < p.Delay {
+		v.ExtraDelay = 1 + netsim.Micros(in.rng.next()%uint64(p.DelayBound()))
+		in.note(at, src, dst, "delay")
+	}
+	if in.rng.float() < p.Corrupt {
+		v.Corrupt = true
+		if payloadLen > 0 {
+			v.CorruptOff = int(in.rng.next() % uint64(payloadLen))
+		}
+		v.CorruptXor = byte(1 + in.rng.next()%255)
+		in.note(at, src, dst, "corrupt")
+	}
+	return v
+}
+
+// partitioned reports whether the src<->dst link is cut at time at.
+func (in *Injector) partitioned(at netsim.Micros, src, dst int) bool {
+	for _, pt := range in.plan.Partitions {
+		if ((pt.A == src && pt.B == dst) || (pt.A == dst && pt.B == src)) &&
+			at >= pt.From && at < pt.Until {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) note(at netsim.Micros, src, dst int, kind string) {
+	in.Injected[kind]++
+	if in.rec == nil {
+		return
+	}
+	in.rec.Emit(obs.Event{At: int64(at), Node: int32(src), Kind: obs.EvFaultInject,
+		B: uint64(dst), Str: kind})
+	in.rec.Metrics().Add("chaos_injected", "kind="+kind, 1)
+}

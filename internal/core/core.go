@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/codegen"
 	"repro/internal/ir"
 	"repro/internal/kernel"
@@ -94,6 +95,11 @@ type Options struct {
 	MaxEvents uint64
 	// Trace receives kernel event lines.
 	Trace func(string)
+	// Chaos, when non-nil, injects a seeded deterministic fault plan
+	// (frame drops, duplicates, delays, corruption, node crashes and
+	// link partitions) and switches the kernel's migration protocol to
+	// its crash-tolerant mode (see internal/chaos and DESIGN.md §10).
+	Chaos *chaos.Plan
 }
 
 // System is a compiled program loaded on a simulated network.
@@ -162,6 +168,7 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.Mode = opts.Mode
 	cfg.Trace = opts.Trace
 	cfg.VetOnLoad = opts.VetOnLoad
+	cfg.Chaos = opts.Chaos
 	cl, err := kernel.NewCluster(prog, machines, cfg)
 	if err != nil {
 		return nil, err
@@ -181,6 +188,9 @@ func (s *System) Run() error {
 	}
 	if len(s.Cluster.Faults) > 0 {
 		f := s.Cluster.Faults[0]
+		if f.Err != nil {
+			return fmt.Errorf("runtime fault on node %d: %s: %w", f.Node, f.Msg, f.Err)
+		}
 		return fmt.Errorf("runtime fault on node %d: %s", f.Node, f.Msg)
 	}
 	return nil

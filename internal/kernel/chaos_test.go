@@ -1,0 +1,308 @@
+// Chaos-protocol tests: the kernel's migration protocol must survive a
+// seeded fault plan — dropped, duplicated, delayed and corrupted frames
+// plus a mid-run crash/restart — and still produce exactly the fault-free
+// program output, install every object exactly once, and emit a
+// byte-identical event log for the same seed.
+
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/ir"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/oid"
+	"repro/internal/wire"
+)
+
+func kilroySrc(t testing.TB) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "examples", "programs", "kilroy.em"))
+	if err != nil {
+		t.Fatalf("reading kilroy demo: %v", err)
+	}
+	return string(b)
+}
+
+func chaosConfig(plan *chaos.Plan) Config {
+	cfg := DefaultConfig()
+	cfg.Chaos = plan
+	return cfg
+}
+
+// assertExactlyOnceInstalls fails if any migration span installed twice.
+func assertExactlyOnceInstalls(t *testing.T, c *Cluster) {
+	t.Helper()
+	installs := map[uint32]int{}
+	for _, e := range c.Rec.Events() {
+		if e.Kind == obs.EvMigrateIn {
+			installs[e.Span]++
+		}
+	}
+	for span, cnt := range installs {
+		if cnt > 1 {
+			t.Errorf("span %d installed %d times (double install)", span, cnt)
+		}
+	}
+}
+
+// TestChaosKilroyIdentical is the headline acceptance test: kilroy under a
+// plan with >5% drop, duplicates, delays, corruption and a crash/restart
+// in the middle of the tour must print exactly what the fault-free run
+// prints, and two runs with the same seed must produce byte-identical
+// event logs.
+func TestChaosKilroyIdentical(t *testing.T) {
+	src := kilroySrc(t)
+	models := []netsim.MachineModel{mSun3, mHP1, mSPARC, mVAX}
+
+	base := runSrc(t, src, models, DefaultConfig())
+	baseOut := base.OutputText()
+	elapsed := base.Sim.Now()
+
+	plan := func() *chaos.Plan {
+		return &chaos.Plan{
+			Seed:    7,
+			Drop:    0.06,
+			Dup:     0.04,
+			Delay:   0.05,
+			Corrupt: 0.03,
+			// Crash a mid-tour node a third of the way through the
+			// fault-free schedule and bring it back well inside the
+			// suspicion timeout, so the protocol recovers by
+			// retransmission rather than degradation.
+			Crashes: []chaos.Crash{{Node: 2, At: elapsed / 3, RestartAt: elapsed/3 + 80_000}},
+		}
+	}
+
+	c1 := runSrc(t, src, models, chaosConfig(plan()))
+	if got := c1.OutputText(); got != baseOut {
+		t.Fatalf("chaos run output differs from fault-free run:\nfault-free:\n%s\nchaos:\n%s", baseOut, got)
+	}
+	assertExactlyOnceInstalls(t, c1)
+
+	// The plan must actually have bitten: injected faults and recovery
+	// actions should both be present, or the test proves nothing.
+	counts := map[obs.Kind]int{}
+	for _, e := range c1.Rec.Events() {
+		counts[e.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.EvFaultInject, obs.EvRetransmit, obs.EvNodeCrash, obs.EvNodeRestart} {
+		if counts[k] == 0 {
+			t.Errorf("expected at least one %v event under the fault plan", k)
+		}
+	}
+
+	c2 := runSrc(t, src, models, chaosConfig(plan()))
+	log1, log2 := obs.EventLog(c1.Rec), obs.EventLog(c2.Rec)
+	if !bytes.Equal(log1, log2) {
+		t.Errorf("same seed produced different event logs (%d vs %d bytes)", len(log1), len(log2))
+	}
+}
+
+const probeSrc = `
+object Probe
+  operation ping() -> (r: String)
+    r <- str(thisnode())
+  end
+end Probe
+
+object Main
+  process
+    var p: Probe <- new Probe
+    move p to node(1)
+    print(p.ping())
+  end process
+end Main
+`
+
+// TestRetryPendingMovesAfterRecovery parks a move behind a crashed
+// destination: node 1 is down from boot, so the Move cannot be delivered,
+// the commit window expires once the destination is suspected, the move
+// aborts and requeues, and the retry — scheduled after the destination's
+// restart — completes it exactly once.
+func TestRetryPendingMovesAfterRecovery(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed:           1,
+		Crashes:        []chaos.Crash{{Node: 1, At: 1, RestartAt: 150_000}},
+		HeartbeatEvery: 10_000,
+		SuspectAfter:   35_000,
+		CommitTimeout:  25_000,
+		RTOBase:        5_000,
+		RTOMax:         20_000,
+		MaxRetrans:     3,
+		MoveRetry:      150_000,
+	}
+	c := runSrc(t, probeSrc, []netsim.MachineModel{mSun3, mSPARC}, chaosConfig(plan))
+
+	// The parked call replays on abort, so ping answers locally (node 0).
+	if got := c.OutputText(); got != "node0" {
+		t.Fatalf("output = %q, want %q", got, "node0")
+	}
+	var aborts, commits, installs int
+	for _, e := range c.Rec.Events() {
+		switch e.Kind {
+		case obs.EvMoveAbort:
+			aborts++
+		case obs.EvMoveCommit:
+			commits++
+		case obs.EvMigrateIn:
+			if e.Node == 1 {
+				installs++
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Error("expected the first move attempt to abort while node 1 was down")
+	}
+	if commits != 1 {
+		t.Errorf("move commits = %d, want exactly 1 (the post-recovery retry)", commits)
+	}
+	if installs != 1 {
+		t.Errorf("node 1 installs = %d, want exactly 1 (exactly-once delivery)", installs)
+	}
+	assertExactlyOnceInstalls(t, c)
+	// The retried move really landed: the probe lives on node 1 now.
+	n1 := c.Nodes[1]
+	resident := 0
+	for _, o := range n1.objects {
+		if o.Resident && o.Kind == ObjPlain {
+			resident++
+		}
+	}
+	if resident == 0 {
+		t.Error("probe object is not resident on node 1 after the retried move")
+	}
+}
+
+const deadNodeSrc = `
+object Probe
+  operation ping() -> (r: String)
+    r <- str(thisnode())
+  end
+end Probe
+
+object Main
+  process
+    var p: Probe <- new Probe
+    move p to node(1)
+    print(p.ping())
+    var i: Int <- 0
+    while i < 2500000 do
+      i <- i + 1
+    end
+    print(p.ping())
+  end process
+end Main
+`
+
+// TestNodeDownFaultTyped kills the destination for good: the in-flight
+// remote invocation must fail with a typed ErrNodeDown fault instead of
+// hanging the simulation.
+func TestNodeDownFaultTyped(t *testing.T) {
+	// Message sends cost SendCycles of CPU (~8.5ms at 20 MHz), so every
+	// protocol window here is generous relative to that: the crash lands
+	// deep inside the spin loop, long after the first ping's round trip.
+	plan := &chaos.Plan{
+		Seed:           1,
+		Crashes:        []chaos.Crash{{Node: 1, At: 250_000}}, // never restarts
+		HeartbeatEvery: 20_000,
+		SuspectAfter:   100_000,
+		CommitTimeout:  60_000,
+		RTOBase:        20_000,
+		RTOMax:         80_000,
+		MaxRetrans:     5,
+	}
+	p := compileSrc(t, deadNodeSrc)
+	c, err := NewCluster(p, []netsim.MachineModel{mSPARC, mSPARC}, chaosConfig(plan))
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	c.Start(nil)
+	if err := c.Run(5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The first ping reached node 1 before the crash.
+	if got := c.OutputText(); got != "node1" {
+		t.Fatalf("output = %q, want %q (first ping answered, second faulted)", got, "node1")
+	}
+	if len(c.Faults) == 0 {
+		t.Fatal("expected a typed node-down fault, got none")
+	}
+	f := c.Faults[0]
+	if !errors.Is(f.Err, ErrNodeDown) {
+		t.Errorf("fault error = %v, want ErrNodeDown (msg %q)", f.Err, f.Msg)
+	}
+}
+
+// TestRecvMoveDuplicateSuppressed re-delivers the same Move span twice:
+// the second delivery must be dropped (and re-acked), not re-installed.
+func TestRecvMoveDuplicateSuppressed(t *testing.T) {
+	c := runSrc(t, probeSrc, []netsim.MachineModel{mSun3, mSPARC},
+		chaosConfig(&chaos.Plan{Seed: 1}))
+	n1 := c.Nodes[1]
+	mv := &wire.Move{
+		Object: oid.ForRuntime(0, 999), IsArray: true,
+		ArrayElemKind: byte(ir.VKInt), Epoch: 1,
+		Data:   []wire.Value{wire.IntV(4), wire.IntV(9)},
+		SpanID: 424242,
+	}
+	n1.recvMove(0, mv)
+	if o, ok := n1.objects[mv.Object]; !ok || !o.Resident {
+		t.Fatal("first delivery did not install the array")
+	}
+	addr := n1.objects[mv.Object].Addr
+
+	n1.recvMove(0, mv) // duplicate span: must be suppressed
+	if got := n1.objects[mv.Object].Addr; got != addr {
+		t.Errorf("duplicate Move re-installed the object (addr %#x -> %#x)", addr, got)
+	}
+	var dups int
+	for _, e := range c.Rec.Events() {
+		if e.Kind == obs.EvMoveDupDrop && e.Span == mv.SpanID {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Errorf("move-dup-drop events = %d, want 1", dups)
+	}
+	assertExactlyOnceInstalls(t, c)
+}
+
+// TestValidateMoveRejects feeds structurally bad Moves to recvMove: each
+// must be refused with a negative MoveAck (the metric counts rejects) and
+// never installed or panicked on.
+func TestValidateMoveRejects(t *testing.T) {
+	c := runSrc(t, probeSrc, []netsim.MachineModel{mSun3, mSPARC},
+		chaosConfig(&chaos.Plan{Seed: 1}))
+	n1 := c.Nodes[1]
+	bad := []*wire.Move{
+		// Hint naming a node outside the cluster.
+		{Object: oid.ForRuntime(0, 800), IsArray: true, ArrayElemKind: byte(ir.VKInt),
+			Data:   []wire.Value{wire.IntV(1)},
+			Hints:  []wire.LocHint{{OID: oid.ForRuntime(0, 801), Node: 99}},
+			SpanID: 910_001},
+		// Array with an element kind beyond the VK range.
+		{Object: oid.ForRuntime(0, 802), IsArray: true, ArrayElemKind: 200,
+			Data: []wire.Value{wire.IntV(1)}, SpanID: 910_002},
+		// Array claiming thread state.
+		{Object: oid.ForRuntime(0, 803), IsArray: true, ArrayElemKind: byte(ir.VKInt),
+			Data:   []wire.Value{wire.IntV(1)},
+			Frags:  []wire.Fragment{{FragID: 1}},
+			SpanID: 910_003},
+	}
+	for _, mv := range bad {
+		n1.recvMove(0, mv)
+		if o, ok := n1.objects[mv.Object]; ok && o.Resident {
+			t.Errorf("malformed Move (span %d) was installed", mv.SpanID)
+		}
+		if n1.seenSpans[mv.SpanID] {
+			t.Errorf("rejected span %d was marked seen; a corrected retry would be dropped", mv.SpanID)
+		}
+	}
+}

@@ -36,6 +36,21 @@ func (n *Node) handleCall(f *Frag, tr *arch.Trap) {
 		n.fault(f, "invocation: "+err.Error())
 		return
 	}
+	if recv.transit != nil {
+		// The receiver is mid-move: block and replay the dispatch once the
+		// move commits (remote path) or aborts (local path).
+		f.Status = FragStateBlockedCall
+		f.waitNode = -1
+		recv.transit.parked = append(recv.transit.parked,
+			func() { n.dispatchCall(f, recv, opName, args) })
+		return
+	}
+	n.dispatchCall(f, recv, opName, args)
+}
+
+// dispatchCall routes a resolved call locally or remotely (re-entered when
+// a parked call replays after a move resolves).
+func (n *Node) dispatchCall(f *Frag, recv *Obj, opName string, args []uint32) {
 	if recv.Resident {
 		n.invokeLocal(f, recv, opName, args)
 		return
@@ -77,6 +92,13 @@ func (n *Node) invokeLocal(f *Frag, recv *Obj, opName string, args []uint32) {
 // fragment blocks until the Return arrives (possibly at another node, if
 // the fragment migrates meanwhile).
 func (n *Node) invokeRemote(f *Frag, recv *Obj, opName string, args []uint32) {
+	if n.chaosOn() && n.suspects[recv.LastKnown] {
+		// The last known host is suspected down: fail fast with the typed
+		// cause instead of blocking on a Return that will not come.
+		n.faultErr(f, ErrNodeDown, fmt.Sprintf("remote invocation of %s on %v: node %d is down",
+			opName, recv.OID, recv.LastKnown))
+		return
+	}
 	// Marshalling needs each argument's kind. The program database (every
 	// node holds every interface, §3.4) supplies the callee signature.
 	sig, ok := n.signatureOf(recv, opName, len(args))
@@ -97,6 +119,7 @@ func (n *Node) invokeRemote(f *Frag, recv *Obj, opName string, args []uint32) {
 	}
 	n.chargeConv(conv, prev)
 	f.Status = FragStateBlockedCall
+	f.waitNode = int32(recv.LastKnown)
 	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
 		Kind: obs.EvRemoteInvoke, Frag: f.ID, Obj: uint32(recv.OID),
 		B: uint64(recv.LastKnown), Str: opName})
@@ -211,6 +234,8 @@ func (n *Node) handleMsg(src int, p wire.Payload) {
 		n.recvMove(src, p)
 	case *wire.UnfixReq:
 		n.recvUnfixReq(src, p)
+	case *wire.MoveAck:
+		n.recvMoveAck(src, p)
 	case *wire.UpdateLoc:
 		if o, ok := n.objects[p.Target]; ok && !o.Resident && p.Epoch > o.Epoch {
 			o.LastKnown = int(p.Node)
@@ -260,6 +285,13 @@ func (n *Node) recvInvoke(src int, p *wire.Invoke) {
 		// Entirely unknown object: the sender's hint was wrong; bounce a
 		// fault to the caller.
 		fail(fmt.Sprintf("object %v not found at node %d", p.Target, n.ID))
+		return
+	}
+	if target.transit != nil {
+		// Mid-move: park the whole invocation and re-deliver it to
+		// ourselves once the move resolves (forwarding if it committed).
+		target.transit.parked = append(target.transit.parked,
+			func() { n.recvInvoke(src, p) })
 		return
 	}
 	if target.Kind == ObjArray {
@@ -334,6 +366,7 @@ func (n *Node) recvReturn(src int, p *wire.Return) {
 		n.fault(f, "return: "+err.Error())
 		return
 	}
+	f.waitNode = -1
 	if stop.Pushes {
 		hints := map[oid.OID]int{}
 		for _, h := range p.Hints {
@@ -398,6 +431,11 @@ func (n *Node) recvUnfixReq(src int, p *wire.UnfixReq) {
 		return
 	}
 	if n.forwardIfMoved(src, target, p) {
+		return
+	}
+	if target.transit != nil {
+		target.transit.parked = append(target.transit.parked,
+			func() { n.recvUnfixReq(src, p) })
 		return
 	}
 	target.Fixed = false

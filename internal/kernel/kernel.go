@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/chaos"
 	"repro/internal/codegen"
 	"repro/internal/codesrv"
 	"repro/internal/ir"
@@ -126,6 +127,13 @@ type Config struct {
 	// EventRingCap bounds each node's retained-event ring (0 selects
 	// obs.DefaultRingCap, negative disables event retention).
 	EventRingCap int
+	// Chaos, when non-nil, arms the deterministic fault plan (frame drops,
+	// duplicates, delays, corruption, partitions, node crashes) and switches
+	// the kernel to the crash-tolerant migration protocol: CRC'd sequence-
+	// numbered acked frames with retransmission, two-phase commit for moves,
+	// and heartbeat-based crash suspicion. When nil (the default) the wire
+	// format and event stream are byte-identical to previous releases.
+	Chaos *chaos.Plan
 }
 
 // DefaultConfig returns the standard configuration.
@@ -152,6 +160,9 @@ type Fault struct {
 	At   netsim.Micros
 	Frag uint32
 	Msg  string
+	// Err, when non-nil, types the failure cause (errors.Is against
+	// ErrNodeDown distinguishes crash-induced faults from program errors).
+	Err error
 }
 
 // Cluster is a simulated network of nodes executing one program.
@@ -204,7 +215,43 @@ func NewCluster(prog *codegen.Program, models []netsim.MachineModel, cfg Config)
 		c.Net.Attach(i, n.deliver)
 		c.Rec.SetNodeInfo(i, m.Name, arch.ID(m.Arch).String())
 	}
+	if cfg.Chaos != nil {
+		if err := c.armChaos(cfg.Chaos); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// armChaos installs the fault injector and schedules the plan's crashes,
+// restarts and per-node heartbeats. All chaos timers are weak simulation
+// events: they never keep an otherwise-finished simulation alive.
+func (c *Cluster) armChaos(plan *chaos.Plan) error {
+	c.Net.Inject = chaos.NewInjector(plan, c.Rec)
+	c.Net.OnLost = func(at netsim.Micros, src, dst int) {
+		c.Rec.Emit(obs.Event{At: int64(at), Node: int32(dst), Kind: obs.EvLinkDrop,
+			B: uint64(src), Str: "down"})
+	}
+	for _, cr := range plan.Crashes {
+		cr := cr
+		if cr.Node < 0 || cr.Node >= len(c.Nodes) {
+			return fmt.Errorf("kernel: chaos plan crashes node %d; cluster has %d nodes", cr.Node, len(c.Nodes))
+		}
+		c.Sim.AtWeak(cr.At, func() { c.Nodes[cr.Node].crash() })
+		if cr.RestartAt > 0 {
+			c.Sim.AtWeak(cr.RestartAt, func() { c.Nodes[cr.Node].restart() })
+		}
+	}
+	for _, p := range plan.Partitions {
+		if p.A < 0 || p.A >= len(c.Nodes) || p.B < 0 || p.B >= len(c.Nodes) {
+			return fmt.Errorf("kernel: chaos plan partitions node pair %d-%d; cluster has %d nodes", p.A, p.B, len(c.Nodes))
+		}
+	}
+	for _, n := range c.Nodes {
+		n := n
+		c.Sim.AtWeak(plan.HeartbeatPeriod(), n.heartbeatTick)
+	}
+	return nil
 }
 
 // converterFor returns the converter a node uses for a transfer to/from the
@@ -384,6 +431,11 @@ type Obj struct {
 	Epoch uint32
 	// Proxy state.
 	LastKnown int
+	// transit is the in-flight two-phase move this object is the subject of
+	// (chaos runs only): while set, the object is still resident here but
+	// operations on it park on the transaction and replay after commit or
+	// abort.
+	transit *moveTxn
 }
 
 // Monitor is the per-object monitor: a lock with an entry queue and

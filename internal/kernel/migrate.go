@@ -192,6 +192,23 @@ func (n *Node) moveObject(o *Obj, dest int, fix bool) {
 		n.cluster.trace("node%d: move of fixed %v refused", n.ID, o.OID)
 		return
 	}
+	if n.chaosOn() {
+		if o.transit != nil {
+			// Mid-transit: park and replay once the current move resolves.
+			tx := o.transit
+			tx.parked = append(tx.parked, func() { n.moveObject(o, dest, fix) })
+			return
+		}
+		if n.suspects[dest] {
+			// The destination looks dead: degrade gracefully — the object
+			// stays resident here and callers keep reaching it by remote
+			// invocation.
+			n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+				Kind: obs.EvMoveAbort, Obj: uint32(o.OID), B: uint64(dest), Str: "degraded"})
+			n.cluster.Rec.Metrics().Add("move_degraded", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			return
+		}
+	}
 	switch o.Kind {
 	case ObjString:
 		// Strings are immutable and copied on every transfer; an explicit
@@ -210,6 +227,7 @@ func (n *Node) moveObject(o *Obj, dest int, fix bool) {
 
 // moveArray ships an array's elements.
 func (n *Node) moveArray(o *Obj, dest int, fix bool) {
+	tx := n.newMoveTxn(o, dest, fix)
 	sp := n.beginMoveSpan(o, dest, "array")
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[dest].Spec.ID)
@@ -225,15 +243,20 @@ func (n *Node) moveArray(o *Obj, dest int, fix bool) {
 	n.chargeConv(conv, prev)
 	o.Epoch++
 	n.finishMoveOut(sp, o, dest, conv, prev)
-	bytes, sendAt := n.sendMsg(dest, &wire.Move{
+	bytes, sendAt := n.sendMsgAck(dest, &wire.Move{
 		Object: o.OID, IsArray: true, ArrayElemKind: byte(o.ElemKind),
 		Epoch: o.Epoch, Data: data, Fixed: fix, Hints: n.collectHints(data),
 		SpanID: sp.ID,
-	})
+	}, func() { tx.delivered = true })
 	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
-	o.Resident = false
-	o.LastKnown = dest
-	n.Migrations++
+	tx.do(func() {
+		o.Resident = false
+		o.LastKnown = dest
+		n.Migrations++
+	})
+	if tx.live {
+		n.beginTransit(tx, sp.ID)
+	}
 }
 
 // moveImmutable duplicates an immutable object: the destination gets a
@@ -263,8 +286,13 @@ func (n *Node) moveImmutable(o *Obj, dest int) {
 	n.Migrations++
 }
 
-// movePlain implements full object + thread migration.
+// movePlain implements full object + thread migration. Under a chaos plan
+// it runs as the prepare phase of a two-phase commit: marshalling is
+// read-only and every destructive completion is deferred onto the move
+// transaction (see twophase.go); chaos-off the deferred operations execute
+// inline at exactly their historical program points.
 func (n *Node) movePlain(o *Obj, dest int, fix bool) {
+	tx := n.newMoveTxn(o, dest, fix)
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[dest].Spec.ID)
 	prev := conv.Stats()
@@ -313,6 +341,13 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 			i = j + 1
 		}
 		if len(runs) > 0 {
+			if fr.Status == FragStateInTransit {
+				// Another object's in-flight move holds deferred stack
+				// restructuring over this fragment; retry once it resolves.
+				n.pendingMoves = append(n.pendingMoves, pendingMove{o.OID, dest, fix})
+				n.armMoveRetry()
+				return
+			}
 			plans = append(plans, fragPlan{frag: fr, frames: frames, runs: runs})
 		}
 	}
@@ -360,7 +395,9 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 			}{false, cursor, m - 1})
 		}
 		// Materialize fragments for each segment. The topmost segment keeps
-		// fr's identity; others get fresh IDs.
+		// fr's identity; others get fresh IDs. Local remainder pieces are
+		// stack surgery, so they materialize as (possibly deferred) commit
+		// operations; the ids are minted eagerly for the wire links.
 		ids := make([]uint32, len(segs))
 		frs := make([]*Frag, len(segs))
 		for si := range segs {
@@ -372,18 +409,22 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 			} else {
 				ids[si] = n.mintFragID()
 				if !segs[si].moved {
-					nf := n.adoptRemainder(fr, frames, segs[si].a, segs[si].b, ids[si])
-					frs[si] = nf
+					si := si
+					tx.do(func() {
+						frs[si] = n.adoptRemainder(fr, frames, segs[si].a, segs[si].b, ids[si])
+					})
 				}
 			}
 		}
 		// Links: each segment links to the one below; the bottom segment
-		// inherits fr.Link.
+		// inherits fr's original Link — captured before any segment mutates
+		// fr.Link (the topmost unmoved segment reassigns it below).
+		origLink := fr.Link
 		linkOf := func(si int) wire.Fragment {
 			var l wire.Fragment
 			if si == len(segs)-1 {
-				l.LinkNode = fr.Link.Node
-				l.LinkFrag = fr.Link.Frag
+				l.LinkNode = origLink.Node
+				l.LinkFrag = origLink.Frag
 			} else if segs[si+1].moved {
 				l.LinkNode = int32(dest)
 				l.LinkFrag = ids[si+1]
@@ -416,31 +457,42 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 					sp.Acts++
 				}
 				wireFrags = append(wireFrags, wf)
-			} else {
-				lfr := frs[si]
-				lfr.Link = Link{Node: lk.LinkNode, Frag: lk.LinkFrag}
-				if si > 0 {
-					// Interior/lower remainder: waits for the piece above
-					// to return into it. Its records were relocated and its
-					// bottom was cut by adoptRemainder.
+			} else if si > 0 {
+				// Interior/lower remainder: waits for the piece above to
+				// return into it. Its records are relocated and its bottom
+				// cut by the adoptRemainder commit op above.
+				si := si
+				tx.do(func() {
+					lfr := frs[si]
+					lfr.Link = Link{Node: lk.LinkNode, Frag: lk.LinkFrag}
 					lfr.Status = FragStateBlockedCall
-					continue
-				}
+				})
+			} else {
 				// Top remainder piece: records stay in place; cut the
 				// oldest frame's caller — it now returns via Link.
 				bot := frames[seg.b]
-				kf := uint32(0)
-				if bot.kont {
-					kf = kontFlag
-				}
-				n.st32(bot.fp+uint32(bot.lf.fc.Template.RetDescOff), descNone|kf)
+				tx.do(func() {
+					fr.Link = Link{Node: lk.LinkNode, Frag: lk.LinkFrag}
+					kf := uint32(0)
+					if bot.kont {
+						kf = kontFlag
+					}
+					n.st32(bot.fp+uint32(bot.lf.fc.Template.RetDescOff), descNone|kf)
+				})
 			}
 		}
 		if segs[0].moved {
 			// The thread's active top leaves this node: forward late
 			// returns, and drop the local fragment.
-			n.movedFrags[fr.ID] = dest
-			n.unscheduleFrag(fr)
+			tx.do(func() {
+				n.movedFrags[fr.ID] = dest
+				n.unscheduleFrag(fr)
+			})
+		}
+		if tx.live {
+			// Freeze the fragment until the destination acknowledges the
+			// install (its wire status was captured above).
+			tx.suspend(fr)
 		}
 	}
 
@@ -482,15 +534,21 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 	msg.Hints = n.collectHints(refs)
 	n.chargeConv(conv, prev)
 	n.finishMoveOut(sp, o, dest, conv, prev)
-	bytes, sendAt := n.sendMsg(dest, msg)
+	bytes, sendAt := n.sendMsgAck(dest, msg, func() { tx.delivered = true })
 	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 
 	// The object becomes a remote proxy here; stale machine addresses keep
-	// resolving to it through byAddr.
-	o.Resident = false
-	o.LastKnown = dest
-	o.Mon = nil
-	n.Migrations++
+	// resolving to it through byAddr. Under chaos this is the final commit
+	// operation: the object stays resident until the destination acks.
+	tx.do(func() {
+		o.Resident = false
+		o.LastKnown = dest
+		o.Mon = nil
+		n.Migrations++
+	})
+	if tx.live {
+		n.beginTransit(tx, sp.ID)
+	}
 }
 
 func mustPiece(m map[*Frag]uint32, f *Frag, what string) uint32 {
@@ -539,7 +597,7 @@ func (n *Node) adoptRemainder(orig *Frag, frames []frameInfo, a, b int, id uint3
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
 	nf := &Frag{ID: id, Status: FragStateBlockedCall, Link: Link{Node: -1},
-		stackBase: base, stackLimit: base + n.cluster.StackSize}
+		stackBase: base, stackLimit: base + n.cluster.StackSize, waitNode: -1}
 	n.frags[id] = nf
 	// Relocate oldest-first so SavedFP links point downward correctly.
 	place := base
@@ -647,8 +705,33 @@ func (n *Node) finishMoveIn(src int, p *wire.Move, conv wire.Converter, prev wir
 	rec.SpanRespec(p.SpanID, respecStart, int64(n.CPU.FreeAt), calls)
 }
 
-// recvMove installs a migrated object and its thread fragments.
+// recvMove installs a migrated object and its thread fragments. Under a
+// chaos plan it is the participant side of the two-phase commit: duplicate
+// spans are suppressed (the object is never installed twice), the payload
+// is structurally validated before anything is touched, and the source gets
+// a MoveAck either way.
 func (n *Node) recvMove(src int, p *wire.Move) {
+	if n.chaosOn() {
+		if n.seenSpans[p.SpanID] {
+			// Retransmitted or duplicated Move: already installed. Re-ack —
+			// the earlier ack may have raced a crash window.
+			n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+				Kind: obs.EvMoveDupDrop, Span: p.SpanID, Obj: uint32(p.Object), B: uint64(src)})
+			n.cluster.Rec.Metrics().Add("move_dup_drops", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			n.sendMsg(src, &wire.MoveAck{Object: p.Object, SpanID: p.SpanID, Epoch: p.Epoch, Ok: true})
+			return
+		}
+		if err := n.validateMove(p); err != nil {
+			// Protocol error: refuse the install; the source's abort path
+			// restores the object there and retries or degrades.
+			n.tracef("refusing move of %v from node%d: %v", p.Object, src, err)
+			n.cluster.Rec.Metrics().Add("move_rejects", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			n.sendMsg(src, &wire.MoveAck{Object: p.Object, SpanID: p.SpanID, Epoch: p.Epoch,
+				Ok: false, Err: err.Error()})
+			return
+		}
+		n.seenSpans[p.SpanID] = true
+	}
 	respecStart := int64(n.CPU.FreeAt)
 	if now := int64(n.now()); now > respecStart {
 		respecStart = now
@@ -665,6 +748,9 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 		n.installArray(src, p, conv, hints)
 		n.chargeConv(conv, prev)
 		n.finishMoveIn(src, p, conv, prev, respecStart)
+		if n.chaosOn() {
+			n.sendMsg(src, &wire.MoveAck{Object: p.Object, SpanID: p.SpanID, Epoch: p.Epoch, Ok: true})
+		}
 		return
 	}
 
@@ -678,6 +764,17 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 	n.exported[p.Object] = true
 	o := n.proxyFor(p.Object, src)
 	if o.Resident && !tmpl.Immutable {
+		if n.chaosOn() {
+			// A distinct span delivered an object that already lives here —
+			// the residual double-move corner. Ack (the copy here is
+			// authoritative) and flag it; the conflict metric makes the
+			// disagreement visible instead of crashing the node.
+			n.tracef("CONFLICT: %v arrived from node%d (span %d) but is already resident",
+				p.Object, src, p.SpanID)
+			n.cluster.Rec.Metrics().Add("move_conflicts", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			n.sendMsg(src, &wire.MoveAck{Object: p.Object, SpanID: p.SpanID, Epoch: p.Epoch, Ok: true})
+			return
+		}
 		panic(fmt.Sprintf("kernel: node %d: %v arrived but is already resident", n.ID, p.Object))
 	}
 	o.Epoch = p.Epoch
@@ -721,6 +818,9 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 	}
 	n.chargeConv(conv, prev)
 	n.finishMoveIn(src, p, conv, prev, respecStart)
+	if n.chaosOn() {
+		n.sendMsg(src, &wire.MoveAck{Object: p.Object, SpanID: p.SpanID, Epoch: p.Epoch, Ok: true})
+	}
 }
 
 // installArray materializes a migrated array.
@@ -764,7 +864,7 @@ func (n *Node) installFragment(src int, wf *wire.Fragment, obj *Obj,
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
 	f := &Frag{ID: wf.FragID, Link: Link{Node: wf.LinkNode, Frag: wf.LinkFrag},
-		stackBase: base, stackLimit: base + n.cluster.StackSize}
+		stackBase: base, stackLimit: base + n.cluster.StackSize, waitNode: -1}
 	n.frags[f.ID] = f
 
 	type convFrame struct {

@@ -81,6 +81,34 @@ type Node struct {
 	// of an active object-creation chain.
 	pendingMoves []pendingMove
 
+	// Crash-tolerance state, live only under a chaos plan (Config.Chaos).
+	// Up is the fail-stop flag: a crashed node neither runs nor receives.
+	Up bool
+	// outSeq is the next LData sequence number per destination; unacked
+	// holds in-flight reliable frames keyed by linkKey(dst, seq).
+	outSeq  map[int]uint32
+	unacked map[uint64]*pendingFrame
+	// inNext / inBuf implement per-source in-order exactly-once delivery:
+	// the next expected sequence number and the out-of-order hold buffer.
+	inNext map[int]uint32
+	inBuf  map[int]map[uint32][]byte
+	// lastHeard / suspects drive heartbeat-based crash suspicion.
+	lastHeard map[int]netsim.Micros
+	suspects  map[int]bool
+	// seenSpans deduplicates Move deliveries by SpanID so an object is
+	// never installed twice; pendingCommits are this node's outbound moves
+	// awaiting a MoveAck; abortedSpans tombstones aborted move spans to
+	// detect conflicting late acks.
+	seenSpans      map[uint32]bool
+	pendingCommits map[uint32]*moveTxn
+	abortedSpans   map[uint32]bool
+	// moveRetryStalled marks a move-retry timer that fired while the node
+	// was down; restart re-arms it.
+	moveRetryStalled bool
+	// lastFrame is the pendingFrame of the most recent sendReliable call,
+	// so the move protocol can locate the frame backing a just-sent Move.
+	lastFrame *pendingFrame
+
 	callConv  *wire.CallConverter
 	batchConv *wire.BatchedConverter
 	rawConv   *wire.RawConverter
@@ -116,9 +144,23 @@ func newNode(c *Cluster, id int, m netsim.MachineModel) *Node {
 		callConv:   wire.NewCallConverter(),
 		batchConv:  wire.NewBatchedConverter(),
 		rawConv:    wire.NewRawConverter(),
+
+		Up:             true,
+		outSeq:         map[int]uint32{},
+		unacked:        map[uint64]*pendingFrame{},
+		inNext:         map[int]uint32{},
+		inBuf:          map[int]map[uint32][]byte{},
+		lastHeard:      map[int]netsim.Micros{},
+		suspects:       map[int]bool{},
+		seenSpans:      map[uint32]bool{},
+		pendingCommits: map[uint32]*moveTxn{},
+		abortedSpans:   map[uint32]bool{},
 	}
 	return n
 }
+
+// chaosOn reports whether the crash-tolerant protocol is armed.
+func (n *Node) chaosOn() bool { return n.cluster.Chaos != nil }
 
 // now returns the current simulated time.
 func (n *Node) now() netsim.Micros { return n.cluster.Sim.Now() }
@@ -358,6 +400,7 @@ func (n *Node) bootstrap(objName string) {
 // enqueue makes a fragment runnable.
 func (n *Node) enqueue(f *Frag) {
 	f.Status = FragStateReady
+	f.waitNode = -1
 	if f.queued {
 		return
 	}
@@ -370,7 +413,7 @@ func (n *Node) enqueue(f *Frag) {
 
 // schedule arranges a scheduler pass if work is pending.
 func (n *Node) schedule() {
-	if n.schedOn || len(n.runq) == 0 {
+	if n.schedOn || len(n.runq) == 0 || !n.Up {
 		return
 	}
 	n.schedOn = true
@@ -381,7 +424,7 @@ func (n *Node) schedule() {
 // schedPass runs one scheduling slice.
 func (n *Node) schedPass() {
 	n.schedOn = false
-	if len(n.runq) == 0 {
+	if len(n.runq) == 0 || !n.Up {
 		return
 	}
 	f := n.runq[0]
@@ -425,8 +468,11 @@ func (n *Node) runSlice(f *Frag) {
 }
 
 // fault kills a thread with a runtime error, releasing any held monitor.
-func (n *Node) fault(f *Frag, msg string) {
-	n.cluster.Faults = append(n.cluster.Faults, Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg})
+func (n *Node) fault(f *Frag, msg string) { n.faultErr(f, nil, msg) }
+
+// faultErr is fault with a typed cause (e.g. ErrNodeDown).
+func (n *Node) faultErr(f *Frag, cause error, msg string) {
+	n.cluster.Faults = append(n.cluster.Faults, Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg, Err: cause})
 	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvFault,
 		Frag: f.ID, Str: msg})
 	n.cluster.Rec.Metrics().Add("faults", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
@@ -486,6 +532,14 @@ func (n *Node) protoConvCharge(peer int, bytes int) {
 // It returns the serialized size and the instant the sender CPU finished
 // marshalling (transmission start; migration spans record both).
 func (n *Node) sendMsg(dst int, p wire.Payload) (int, netsim.Micros) {
+	return n.sendMsgAck(dst, p, nil)
+}
+
+// sendMsgAck is sendMsg with a link-level delivery hook: under a chaos plan
+// the message travels as a reliable LData frame and onAck fires when the
+// destination link-acknowledges it. Chaos-off, onAck is ignored (delivery
+// is certain) and the bytes on the wire are exactly the legacy format.
+func (n *Node) sendMsgAck(dst int, p wire.Payload, onAck func()) (int, netsim.Micros) {
 	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.cluster.nextSeq(), Payload: p}
 	buf := m.Marshal()
 	n.charge(uint64(n.cluster.Costs.SendCycles) +
@@ -497,14 +551,86 @@ func (n *Node) sendMsg(dst int, p wire.Payload) (int, netsim.Micros) {
 	n.cluster.Rec.Metrics().Add("msg_bytes", "msg="+p.Kind().String(), uint64(len(buf)))
 	n.cluster.Rec.Metrics().Add("msgs", "msg="+p.Kind().String(), 1)
 	// Transmission starts once the CPU has finished marshalling.
-	if err := n.cluster.Net.Send(n.ID, dst, buf, n.CPU.FreeAt); err != nil {
+	if n.chaosOn() {
+		n.sendReliable(dst, buf, p.Kind().String(), onAck)
+	} else if err := n.cluster.Net.Send(n.ID, dst, buf, n.CPU.FreeAt); err != nil {
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
 	return len(buf), n.CPU.FreeAt
 }
 
-// deliver is the network receive handler.
+// netSend puts one raw frame on the medium (chaos paths; no protocol
+// charges — callers account their own link-level costs).
+func (n *Node) netSend(dst int, frame []byte) {
+	if err := n.cluster.Net.Send(n.ID, dst, frame, n.CPU.FreeAt); err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
+}
+
+// deliver is the network receive handler. Chaos-off it is the legacy direct
+// path; under a chaos plan it first runs the link layer: CRC check,
+// acknowledgment, per-source deduplication and in-order release.
 func (n *Node) deliver(src int, buf []byte) {
+	if !n.chaosOn() {
+		n.deliverInner(src, buf)
+		return
+	}
+	if !n.Up {
+		return // netsim drops frames to down nodes; belt and braces
+	}
+	lf, err := wire.ParseLinkFrame(buf)
+	if err != nil {
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvLinkDrop,
+			B: uint64(src), Str: "crc"})
+		n.cluster.Rec.Metrics().Add("link_drops", "reason=crc", 1)
+		return // retransmission recovers
+	}
+	n.heard(src)
+	n.charge(uint64(n.cluster.Costs.SyscallCycles))
+	switch lf.Kind {
+	case wire.LRaw: // heartbeat: liveness signal only
+		return
+	case wire.LAck:
+		n.recvAck(src, lf.Seq)
+		return
+	}
+	// LData: always acknowledge (acks are idempotent), then release in order.
+	n.sendLinkAck(src, lf.Seq)
+	next := n.inNext[src]
+	if next == 0 {
+		next = 1
+	}
+	if lf.Seq < next {
+		n.cluster.Rec.Metrics().Add("link_drops", "reason=dup", 1)
+		return // duplicate of an already-delivered frame
+	}
+	if lf.Seq > next {
+		// Out of order: hold until the gap fills.
+		if n.inBuf[src] == nil {
+			n.inBuf[src] = map[uint32][]byte{}
+		}
+		if _, held := n.inBuf[src][lf.Seq]; !held {
+			n.inBuf[src][lf.Seq] = append([]byte(nil), lf.Inner...)
+		}
+		n.inNext[src] = next
+		return
+	}
+	n.deliverInner(src, lf.Inner)
+	next++
+	for {
+		held, ok := n.inBuf[src][next]
+		if !ok {
+			break
+		}
+		delete(n.inBuf[src], next)
+		n.deliverInner(src, held)
+		next++
+	}
+	n.inNext[src] = next
+}
+
+// deliverInner processes one protocol message (post link layer under chaos).
+func (n *Node) deliverInner(src int, buf []byte) {
 	n.charge(uint64(n.cluster.Costs.RecvCycles) +
 		uint64(n.cluster.Costs.PerByteCycles)*uint64(len(buf)))
 	n.protoConvCharge(src, len(buf))

@@ -1,0 +1,261 @@
+// Reliable link layer and crash handling, active only under a chaos plan
+// (Config.Chaos). Every protocol message travels as a CRC'd, sequence-
+// numbered LData frame that the receiver acknowledges and the sender
+// retransmits on an exponential-backoff timer until acked. Per-source
+// in-order release (node.go deliver) makes delivery exactly-once and FIFO
+// per channel, which the forwarding-address protocol's loop-freedom relies
+// on. Nodes crash fail-stop with durable kernel and link state: a crashed
+// node is simply unresponsive, and on restart its stalled frames and timers
+// re-arm. Heartbeats drive crash suspicion, which fails in-flight remote
+// invocations with the typed ErrNodeDown.
+
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ErrNodeDown types faults caused by a crashed (or suspected-crashed) peer;
+// test and callers match it with errors.Is.
+var ErrNodeDown = errors.New("node down")
+
+// pendingFrame is one unacked reliable frame.
+type pendingFrame struct {
+	dst      int
+	seq      uint32
+	frame    []byte // marshalled LinkFrame, retransmitted verbatim
+	kind     string // payload kind, for the retransmit event
+	attempts int
+	acked    bool
+	// stalled parks the frame: retries exhausted against a suspected peer,
+	// or the retransmit timer fired while this node was down. Parked frames
+	// re-arm when the peer recovers or this node restarts — the channel
+	// sequence must stay contiguous, so frames are never abandoned.
+	stalled bool
+	// onAck fires once when the frame is first acknowledged (the move
+	// protocol's delivery hook).
+	onAck func()
+}
+
+func linkKey(dst int, seq uint32) uint64 { return uint64(uint32(dst))<<32 | uint64(seq) }
+
+// sendReliable wraps inner in an LData frame, registers it for
+// retransmission and puts it on the wire.
+func (n *Node) sendReliable(dst int, inner []byte, kind string, onAck func()) *pendingFrame {
+	n.outSeq[dst]++
+	seq := n.outSeq[dst]
+	lf := &wire.LinkFrame{Kind: wire.LData, Seq: seq, Inner: inner}
+	pf := &pendingFrame{dst: dst, seq: seq, frame: lf.Marshal(), kind: kind, onAck: onAck}
+	n.unacked[linkKey(dst, seq)] = pf
+	n.lastFrame = pf
+	n.transmit(pf)
+	return pf
+}
+
+// transmit puts one attempt of pf on the medium and arms the next
+// retransmission timer.
+func (n *Node) transmit(pf *pendingFrame) {
+	pf.attempts++
+	if pf.attempts > 1 {
+		// A retransmission resends the already-marshalled frame from the
+		// kernel's buffer: it costs a timer pop and a copy, not the full
+		// per-message protocol-stack charge the first send paid (charging
+		// SendCycles here would snowball the CPU queue under loss and
+		// collapse the link).
+		n.charge(uint64(n.cluster.Costs.SyscallCycles) +
+			uint64(n.cluster.Costs.PerByteCycles)*uint64(len(pf.frame)))
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvRetransmit,
+			A: uint64(pf.seq), B: uint64(pf.dst), Str: pf.kind, Span: uint32(pf.attempts)})
+		n.cluster.Rec.Metrics().Add("retransmits", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	}
+	n.netSend(pf.dst, pf.frame)
+	n.armRetransmit(pf)
+}
+
+// armRetransmit schedules the retransmission check for pf's current attempt
+// with exponential backoff. The timer is strong (it keeps the simulation
+// alive) because an unacked frame is unfinished protocol work.
+func (n *Node) armRetransmit(pf *pendingFrame) {
+	plan := n.cluster.Chaos
+	rto := plan.RTOMin()
+	for i := 1; i < pf.attempts; i++ {
+		rto *= 2
+		if rto >= plan.RTOCap() {
+			rto = plan.RTOCap()
+			break
+		}
+	}
+	// The frame reaches the wire only after the CPU drains the marshalling
+	// work already queued (netSend passes CPU.FreeAt as the earliest start);
+	// count the timeout from there, or a long marshal alone triggers a
+	// spurious retransmission.
+	if wait := n.CPU.FreeAt - n.now(); wait > 0 {
+		rto += wait
+	}
+	n.cluster.Sim.At(rto, func() {
+		if pf.acked || pf.stalled {
+			return
+		}
+		if !n.Up {
+			// Fired while crashed: park; restart re-arms.
+			pf.stalled = true
+			return
+		}
+		if pf.attempts >= plan.Retries() && n.suspects[pf.dst] {
+			// The peer looks dead: park until it is heard from again.
+			pf.stalled = true
+			return
+		}
+		n.transmit(pf)
+	})
+}
+
+// sendLinkAck acknowledges one LData sequence number (fire-and-forget; a
+// lost ack is recovered by the sender's retransmission, which is re-acked).
+func (n *Node) sendLinkAck(dst int, seq uint32) {
+	n.charge(uint64(n.cluster.Costs.SyscallCycles))
+	n.netSend(dst, (&wire.LinkFrame{Kind: wire.LAck, Seq: seq}).Marshal())
+}
+
+// recvAck retires an unacked frame and fires its delivery hook.
+func (n *Node) recvAck(src int, seq uint32) {
+	pf, ok := n.unacked[linkKey(src, seq)]
+	if !ok {
+		return // duplicate ack
+	}
+	pf.acked = true
+	delete(n.unacked, linkKey(src, seq))
+	if pf.onAck != nil {
+		pf.onAck()
+		pf.onAck = nil
+	}
+}
+
+// heard notes liveness evidence from src, clearing suspicion and reviving
+// any frames parked against it.
+func (n *Node) heard(src int) {
+	n.lastHeard[src] = n.now()
+	if n.suspects[src] {
+		delete(n.suspects, src)
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+			Kind: obs.EvNodeRecover, B: uint64(src)})
+		n.reviveStalled(func(pf *pendingFrame) bool { return pf.dst == src })
+	}
+}
+
+// reviveStalled re-arms parked frames matching the filter, in (dst, seq)
+// order for determinism.
+func (n *Node) reviveStalled(match func(*pendingFrame) bool) {
+	keys := make([]uint64, 0, len(n.unacked))
+	for k, pf := range n.unacked {
+		if pf.stalled && match(pf) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		pf := n.unacked[k]
+		pf.stalled = false
+		n.transmit(pf)
+	}
+}
+
+// heartbeatTick is the per-node liveness beacon and suspicion sweep. It
+// self-re-arms as a weak event — heartbeats never keep a finished
+// simulation alive — and keeps ticking (without sending) while the node is
+// down so the cadence survives a restart.
+func (n *Node) heartbeatTick() {
+	plan := n.cluster.Chaos
+	n.cluster.Sim.AtWeak(plan.HeartbeatPeriod(), n.heartbeatTick)
+	if !n.Up {
+		return
+	}
+	hb := (&wire.LinkFrame{Kind: wire.LRaw}).Marshal()
+	now := n.now()
+	for _, peer := range n.cluster.Nodes {
+		if peer.ID == n.ID {
+			continue
+		}
+		n.charge(uint64(n.cluster.Costs.SyscallCycles))
+		n.netSend(peer.ID, hb)
+		if !n.suspects[peer.ID] && now-n.lastHeard[peer.ID] > plan.SuspectTimeout() {
+			n.suspects[peer.ID] = true
+			n.cluster.Rec.Emit(obs.Event{At: int64(now), Node: int32(n.ID),
+				Kind: obs.EvNodeSuspect, B: uint64(peer.ID)})
+			n.cluster.Rec.Metrics().Add("node_suspects", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			n.failWaitersOn(peer.ID)
+		}
+	}
+}
+
+// failWaitersOn faults every fragment blocked on a Return from the newly
+// suspected peer: its forwarding address is stale and the in-flight
+// invocation is considered lost.
+func (n *Node) failWaitersOn(peer int) {
+	ids := make([]uint32, 0, len(n.frags))
+	for id, f := range n.frags {
+		if f.Status == FragStateBlockedCall && f.waitNode == int32(peer) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := n.frags[id]
+		n.faultErr(f, ErrNodeDown,
+			fmt.Sprintf("remote invocation lost: node %d is down", peer))
+	}
+}
+
+// crash takes the node down fail-stop: it stops running and receiving, but
+// its memory, object table and link state are durable across the outage.
+func (n *Node) crash() {
+	if !n.Up {
+		return
+	}
+	n.Up = false
+	n.cluster.Net.SetNodeUp(n.ID, false)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvNodeCrash})
+	n.cluster.Rec.Metrics().Add("node_crashes", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+}
+
+// restart brings a crashed node back: parked frames and stalled timers
+// re-arm, peers get a fresh suspicion grace period, and the scheduler
+// resumes.
+func (n *Node) restart() {
+	if n.Up {
+		return
+	}
+	n.Up = true
+	n.cluster.Net.SetNodeUp(n.ID, true)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvNodeRestart})
+	// Do not instantly suspect everyone after a long outage.
+	for _, peer := range n.cluster.Nodes {
+		if peer.ID != n.ID {
+			n.lastHeard[peer.ID] = n.now()
+		}
+	}
+	n.reviveStalled(func(pf *pendingFrame) bool { return !n.suspects[pf.dst] })
+	// Re-arm commit timers that fired while down, in span order.
+	spans := make([]uint32, 0, len(n.pendingCommits))
+	for span, tx := range n.pendingCommits {
+		if tx.stalledTimer {
+			spans = append(spans, span)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i] < spans[j] })
+	for _, span := range spans {
+		tx := n.pendingCommits[span]
+		tx.stalledTimer = false
+		n.armCommitTimer(tx)
+	}
+	if n.moveRetryStalled {
+		n.moveRetryStalled = false
+		n.cluster.Sim.At(0, n.retryPendingMoves)
+	}
+	n.schedule()
+}

@@ -27,6 +27,10 @@ const (
 	FragStateBlockedEntry // queued on a monitor
 	FragStateWaitCond     // waiting on a condition variable
 	FragStateDead
+	// FragStateInTransit suspends a fragment while an object whose frames it
+	// carries is mid-move under the two-phase commit protocol (chaos runs
+	// only); the previous state is restored on abort.
+	FragStateInTransit
 )
 
 func (s FragState) String() string {
@@ -43,6 +47,8 @@ func (s FragState) String() string {
 		return "wait-cond"
 	case FragStateDead:
 		return "dead"
+	case FragStateInTransit:
+		return "in-transit"
 	}
 	return "?"
 }
@@ -73,6 +79,9 @@ type Frag struct {
 	condIndex uint16
 	// queued guards against double-enqueueing.
 	queued bool
+	// waitNode is the node a FragStateBlockedCall fragment awaits a Return
+	// from (-1: none); crash suspicion fails such waiters with ErrNodeDown.
+	waitNode int32
 }
 
 func (f *Frag) topName() string {
@@ -91,7 +100,7 @@ func (n *Node) newFrag() *Frag {
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
 	f := &Frag{ID: id, Status: FragStateReady, Link: Link{Node: -1},
-		stackBase: base, stackLimit: base + n.cluster.StackSize}
+		stackBase: base, stackLimit: base + n.cluster.StackSize, waitNode: -1}
 	f.CPU.FP = base // empty: first frame goes at base
 	n.frags[id] = f
 	return f
@@ -717,12 +726,27 @@ func (n *Node) handleArrayOp(f *Frag, tr *arch.Trap) {
 		n.fault(f, "array operation on a non-array")
 		return
 	}
+	if o.transit != nil {
+		// The array is mid-move: block and replay once the move resolves.
+		kind := tr.Kind
+		f.Status = FragStateBlockedCall
+		f.waitNode = -1
+		o.transit.parked = append(o.transit.parked,
+			func() { n.arrayOpOn(f, kind, elem, o, idx, val) })
+		return
+	}
+	n.arrayOpOn(f, tr.Kind, elem, o, idx, val)
+}
+
+// arrayOpOn performs one array access on a resolved array object (re-entered
+// when a parked access replays after a move resolves).
+func (n *Node) arrayOpOn(f *Frag, kind arch.TrapKind, elem ir.VK, o *Obj, idx, val uint32) {
 	if o.Resident {
-		if tr.Kind != arch.TrapALen && idx >= o.Len {
+		if kind != arch.TrapALen && idx >= o.Len {
 			n.fault(f, fmt.Sprintf("index %d out of bounds (length %d)", int32(idx), o.Len))
 			return
 		}
-		switch tr.Kind {
+		switch kind {
 		case arch.TrapALoad:
 			n.pushTemp(f, n.ld32(o.slotAddr(int(idx))))
 		case arch.TrapAStore:
@@ -733,12 +757,17 @@ func (n *Node) handleArrayOp(f *Frag, tr *arch.Trap) {
 		n.enqueue(f)
 		return
 	}
+	if n.chaosOn() && n.suspects[o.LastKnown] {
+		n.faultErr(f, ErrNodeDown, fmt.Sprintf("remote array access on %v: node %d is down",
+			o.OID, o.LastKnown))
+		return
+	}
 	// Remote array: marshal the access as a kernel-served invocation.
 	conv := n.cluster.converterFor(n, n.cluster.Nodes[o.LastKnown].Spec.ID)
 	prev := conv.Stats()
 	var opName string
 	var args []wire.Value
-	switch tr.Kind {
+	switch kind {
 	case arch.TrapALoad:
 		opName = arrGetOp
 		args = []wire.Value{conv.IntToWire(idx)}
@@ -755,6 +784,7 @@ func (n *Node) handleArrayOp(f *Frag, tr *arch.Trap) {
 	}
 	n.chargeConv(conv, prev)
 	f.Status = FragStateBlockedCall
+	f.waitNode = int32(o.LastKnown)
 	n.sendMsg(o.LastKnown, &wire.Invoke{
 		Target: o.OID, OpName: opName, Origin: int32(n.ID), CallerFrag: f.ID,
 		Args: args, Hints: n.collectHints(args),

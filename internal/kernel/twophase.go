@@ -1,0 +1,331 @@
+// Two-phase commit for object moves, active only under a chaos plan. The
+// source node prepares a move without destroying anything: marshalling is
+// read-only, and every destructive completion (stack restructuring,
+// fragment retirement, residency flip) is collected as a deferred commit
+// operation. The object stays resident until the destination acknowledges
+// the install with a MoveAck; only then do the deferred operations run. On
+// a negative ack, or when the Move was never delivered and the destination
+// is suspected down, the move aborts: suspended fragments resume, parked
+// operations replay locally, and the move is requeued for retry (degrading
+// to remote invocation if the destination stays suspect). Chaos-off, the
+// deferred operations execute inline at their historical program points, so
+// behavior and the event stream are byte-identical to previous releases.
+
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// suspendedFrag remembers a fragment's pre-transit scheduling state.
+type suspendedFrag struct {
+	f    *Frag
+	prev FragState
+}
+
+// moveTxn is one in-flight move of one object.
+type moveTxn struct {
+	obj  *Obj
+	dest int
+	fix  bool
+	span uint32
+	// live: chaos is on, so destructive operations defer until commit.
+	live bool
+	// delivered: the Move frame was link-acknowledged by the destination.
+	delivered bool
+	// commitOps are the deferred destructive completions, in program order.
+	commitOps []func()
+	// suspended fragments sit in FragStateInTransit until commit or abort.
+	suspended []suspendedFrag
+	// parked operations arrived for the object mid-transit; they replay in
+	// arrival order once the move resolves (remotely after commit, locally
+	// after abort).
+	parked []func()
+	// moveFrame is the reliable link frame carrying the Move.
+	moveFrame *pendingFrame
+	// stalledTimer: the commit timer fired while the source was down.
+	stalledTimer bool
+}
+
+func (n *Node) newMoveTxn(o *Obj, dest int, fix bool) *moveTxn {
+	return &moveTxn{obj: o, dest: dest, fix: fix, live: n.chaosOn()}
+}
+
+// do runs f immediately when the transaction is not live (chaos off) —
+// preserving the historical execution order exactly — and defers it to
+// commit otherwise.
+func (tx *moveTxn) do(f func()) {
+	if tx.live {
+		tx.commitOps = append(tx.commitOps, f)
+		return
+	}
+	f()
+}
+
+// suspend parks a fragment for the duration of the transit.
+func (tx *moveTxn) suspend(f *Frag) {
+	prev := f.Status
+	if prev == FragStateRunning {
+		prev = FragStateReady
+	}
+	tx.suspended = append(tx.suspended, suspendedFrag{f: f, prev: prev})
+	f.Status = FragStateInTransit
+}
+
+// resumeSuspended restores the pre-transit scheduling state of every
+// fragment still in transit (fragments retired by commit operations are
+// already dead and skipped).
+func (n *Node) resumeSuspended(tx *moveTxn) {
+	for _, s := range tx.suspended {
+		if s.f.Status != FragStateInTransit {
+			continue
+		}
+		s.f.Status = s.prev
+		if s.prev == FragStateReady {
+			n.enqueue(s.f)
+		}
+	}
+	tx.suspended = nil
+}
+
+// replayParked replays operations that arrived mid-transit, in order.
+func (n *Node) replayParked(tx *moveTxn) {
+	parked := tx.parked
+	tx.parked = nil
+	for _, op := range parked {
+		op()
+	}
+}
+
+// beginTransit registers a live transaction: the object is pinned for the
+// collector, incoming operations park, and the commit timer arms.
+func (n *Node) beginTransit(tx *moveTxn, span uint32) {
+	tx.span = span
+	tx.moveFrame = n.lastFrame
+	tx.obj.transit = tx
+	n.exported[tx.obj.OID] = true
+	n.pendingCommits[span] = tx
+	n.armCommitTimer(tx)
+}
+
+// armCommitTimer watches one commit window. If the window closes with the
+// Move still undelivered and the destination suspected down, the move
+// aborts; an undelivered Move to a healthy-looking destination just gets
+// another window (retransmission is still working on it). Once the Move is
+// delivered the timer retires: the destination's MoveAck travels on the
+// reliable link and will arrive whenever the destination is up.
+func (n *Node) armCommitTimer(tx *moveTxn) {
+	n.cluster.Sim.At(n.cluster.Chaos.CommitWindow(), func() {
+		if _, live := n.pendingCommits[tx.span]; !live {
+			return
+		}
+		if !n.Up {
+			tx.stalledTimer = true // restart re-arms
+			return
+		}
+		if tx.delivered {
+			return
+		}
+		if !n.suspects[tx.dest] {
+			n.armCommitTimer(tx)
+			return
+		}
+		n.abortMove(tx, "timeout")
+	})
+}
+
+// recvMoveAck resolves a pending move transaction.
+func (n *Node) recvMoveAck(src int, p *wire.MoveAck) {
+	tx, ok := n.pendingCommits[p.SpanID]
+	if !ok {
+		if n.abortedSpans[p.SpanID] && p.Ok {
+			// The residual fail-stop corner: the destination installed a
+			// Move whose transaction this node had already aborted (the
+			// original frame outlived the abort). Both copies now exist;
+			// flag it loudly rather than corrupt silently.
+			n.cluster.Rec.Metrics().Add("move_conflicts", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			n.tracef("CONFLICT: node%d installed aborted move span %d of %v", src, p.SpanID, p.Object)
+		}
+		return
+	}
+	if p.Ok {
+		n.commitMove(tx)
+		return
+	}
+	n.abortMove(tx, "refused: "+p.Err)
+}
+
+// commitMove runs the deferred destructive completions and releases the
+// object: it is now resident at the destination.
+func (n *Node) commitMove(tx *moveTxn) {
+	delete(n.pendingCommits, tx.span)
+	ops := tx.commitOps
+	tx.commitOps = nil
+	for _, op := range ops {
+		op()
+	}
+	n.resumeSuspended(tx)
+	tx.obj.transit = nil
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvMoveCommit,
+		Span: tx.span, Obj: uint32(tx.obj.OID), B: uint64(tx.dest)})
+	n.cluster.Rec.Metrics().Add("move_commits", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	n.replayParked(tx)
+}
+
+// abortMove rolls a move back: nothing destructive has happened, so the
+// object simply stays resident. Suspended fragments resume, parked
+// operations replay locally, and the move requeues for a later retry.
+func (n *Node) abortMove(tx *moveTxn, reason string) {
+	delete(n.pendingCommits, tx.span)
+	n.abortedSpans[tx.span] = true
+	if pf := tx.moveFrame; pf != nil && !pf.acked {
+		// The Move must not install at the destination, but its link
+		// sequence number must still be delivered — in-order release would
+		// otherwise stall on the gap forever. Swap the payload for a
+		// harmless same-sequence filler: a negative MoveAck for this very
+		// span, which the destination ignores.
+		noop := &wire.Msg{Src: int32(n.ID), Dst: int32(pf.dst), Seq: n.cluster.nextSeq(),
+			Payload: &wire.MoveAck{Object: tx.obj.OID, SpanID: tx.span, Epoch: tx.obj.Epoch,
+				Ok: false, Err: "aborted"}}
+		pf.frame = (&wire.LinkFrame{Kind: wire.LData, Seq: pf.seq, Inner: noop.Marshal()}).Marshal()
+		pf.kind = "moveack"
+	}
+	tx.obj.Epoch--
+	tx.obj.transit = nil
+	tx.commitOps = nil
+	n.resumeSuspended(tx)
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvMoveAbort,
+		Span: tx.span, Obj: uint32(tx.obj.OID), B: uint64(tx.dest), Str: reason})
+	n.cluster.Rec.Metrics().Add("move_aborts", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	n.replayParked(tx)
+	n.pendingMoves = append(n.pendingMoves, pendingMove{tx.obj.OID, tx.dest, tx.fix})
+	n.armMoveRetry()
+}
+
+// armMoveRetry schedules a retryPendingMoves pass (chaos only). The timer
+// is strong: a requeued move is unfinished work.
+func (n *Node) armMoveRetry() {
+	n.cluster.Sim.At(n.cluster.Chaos.RetryMoveAfter(), func() {
+		if !n.Up {
+			n.moveRetryStalled = true
+			return
+		}
+		n.retryPendingMoves()
+	})
+}
+
+// validateMove structurally validates an inbound Move against this node's
+// templates before anything is installed: fragment piece indices, bus
+// stops, value counts, stack fit, monitor references and location hints.
+// Under chaos a malformed Move is refused with a protocol error the
+// source's abort path handles; it must never panic the destination.
+func (n *Node) validateMove(p *wire.Move) error {
+	for _, h := range p.Hints {
+		if int(h.Node) < 0 || int(h.Node) >= len(n.cluster.Nodes) {
+			return fmt.Errorf("hint for %v names node %d; cluster has %d nodes",
+				h.OID, h.Node, len(n.cluster.Nodes))
+		}
+	}
+	if p.IsArray {
+		if len(p.Frags) > 0 || p.MonLocked || len(p.EntryQueue) > 0 || len(p.CondQueues) > 0 {
+			return fmt.Errorf("array move carries thread or monitor state")
+		}
+		if ir.VK(p.ArrayElemKind) > ir.VKPtr {
+			return fmt.Errorf("bad array element kind %d", p.ArrayElemKind)
+		}
+		if len(p.Data) > 1<<20 {
+			return fmt.Errorf("array length %d too large", len(p.Data))
+		}
+		return nil
+	}
+	lc, err := n.loadCode(p.CodeOID)
+	if err != nil {
+		return fmt.Errorf("code %v: %v", p.CodeOID, err)
+	}
+	tmpl := lc.oc.Template
+	if len(p.Data) != len(tmpl.Slots) {
+		return fmt.Errorf("object has %d data slots; template %s declares %d",
+			len(p.Data), lc.oc.Name, len(tmpl.Slots))
+	}
+	fragIDs := map[uint32]bool{}
+	for i := range p.Frags {
+		wf := &p.Frags[i]
+		if fragIDs[wf.FragID] {
+			return fmt.Errorf("duplicate fragment id %08x", wf.FragID)
+		}
+		fragIDs[wf.FragID] = true
+		if wf.Status > wire.FragWaitCond {
+			return fmt.Errorf("fragment %08x: bad status %d", wf.FragID, wf.Status)
+		}
+		if wf.Status == wire.FragWaitCond && int(wf.CondIndex) >= tmpl.NumConds {
+			return fmt.Errorf("fragment %08x: condition index %d out of range (%d conditions)",
+				wf.FragID, wf.CondIndex, tmpl.NumConds)
+		}
+		if len(wf.Acts) == 0 {
+			return fmt.Errorf("fragment %08x has no activations", wf.FragID)
+		}
+		var total uint32
+		for ai := range wf.Acts {
+			a := &wf.Acts[ai]
+			alc, err := n.loadCode(a.CodeOID)
+			if err != nil {
+				return fmt.Errorf("fragment %08x activation %d: %v", wf.FragID, ai, err)
+			}
+			if int(a.FuncIndex) >= len(alc.funcs) {
+				return fmt.Errorf("fragment %08x activation %d: function index %d out of range (%d functions)",
+					wf.FragID, ai, a.FuncIndex, len(alc.funcs))
+			}
+			lf := alc.funcs[a.FuncIndex]
+			t := lf.fc.Template
+			if len(a.Vars) > len(t.Vars) {
+				return fmt.Errorf("fragment %08x activation %d (%s): %d vars; template declares %d",
+					wf.FragID, ai, lf.name(), len(a.Vars), len(t.Vars))
+			}
+			if a.Stop == wire.EntryStop {
+				if len(a.Temps) > 0 {
+					return fmt.Errorf("fragment %08x activation %d (%s): entry stop with %d temporaries",
+						wf.FragID, ai, lf.name(), len(a.Temps))
+				}
+			} else {
+				stop, err := lf.fc.Stops.ByStop(int(a.Stop))
+				if err != nil {
+					return fmt.Errorf("fragment %08x activation %d (%s): %v",
+						wf.FragID, ai, lf.name(), err)
+				}
+				if len(a.Temps) > stop.TempDepth+1 {
+					return fmt.Errorf("fragment %08x activation %d (%s): %d temporaries at stop %d (depth %d)",
+						wf.FragID, ai, lf.name(), len(a.Temps), a.Stop, stop.TempDepth)
+				}
+			}
+			total += uint32(t.Size)
+		}
+		if total > n.cluster.StackSize {
+			return fmt.Errorf("fragment %08x needs %d stack bytes; region is %d",
+				wf.FragID, total, n.cluster.StackSize)
+		}
+	}
+	if p.MonLocked && !fragIDs[p.MonHolder] {
+		return fmt.Errorf("monitor holder %08x not among migrated fragments", p.MonHolder)
+	}
+	for _, id := range p.EntryQueue {
+		if !fragIDs[id] {
+			return fmt.Errorf("monitor entrant %08x not among migrated fragments", id)
+		}
+	}
+	if len(p.CondQueues) > tmpl.NumConds {
+		return fmt.Errorf("%d condition queues; template %s declares %d conditions",
+			len(p.CondQueues), lc.oc.Name, tmpl.NumConds)
+	}
+	for k, q := range p.CondQueues {
+		for _, id := range q {
+			if !fragIDs[id] {
+				return fmt.Errorf("condition %d waiter %08x not among migrated fragments", k, id)
+			}
+		}
+	}
+	return nil
+}

@@ -21,9 +21,10 @@ type Micros int64
 func (m Micros) MS() float64 { return float64(m) / 1000 }
 
 type event struct {
-	at  Micros
-	seq uint64
-	fn  func()
+	at   Micros
+	seq  uint64
+	weak bool
+	fn   func()
 }
 
 type eventHeap []*event
@@ -51,6 +52,7 @@ type Sim struct {
 	queue  eventHeap
 	seq    uint64
 	events uint64
+	strong int // pending non-weak events; Run stops when this hits zero
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -63,12 +65,23 @@ func (s *Sim) Now() Micros { return s.now }
 func (s *Sim) Events() uint64 { return s.events }
 
 // At schedules fn at now+delay (FIFO among equal times).
-func (s *Sim) At(delay Micros, fn func()) {
+func (s *Sim) At(delay Micros, fn func()) { s.schedule(delay, fn, false) }
+
+// AtWeak schedules fn like At but weakly: weak events do not keep the
+// simulation alive. Run returns once only weak events remain, so periodic
+// background work (heartbeat ticks, crash/restart schedules) can re-arm
+// itself without preventing termination.
+func (s *Sim) AtWeak(delay Micros, fn func()) { s.schedule(delay, fn, true) }
+
+func (s *Sim) schedule(delay Micros, fn func(), weak bool) {
 	if delay < 0 {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+	if !weak {
+		s.strong++
+	}
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, weak: weak, fn: fn})
 }
 
 // Step runs the next event; it reports whether one was run.
@@ -79,16 +92,23 @@ func (s *Sim) Step() bool {
 	e := heap.Pop(&s.queue).(*event)
 	s.now = e.at
 	s.events++
+	if !e.weak {
+		s.strong--
+	}
 	e.fn()
 	return true
 }
 
-// Run processes events until the queue is empty or maxEvents have run.
-// It returns an error if the event budget was exhausted (livelock guard).
+// Run processes events until no strong events remain (weak events left in
+// the queue are abandoned) or maxEvents have run. It returns an error if
+// the event budget was exhausted (livelock guard).
 func (s *Sim) Run(maxEvents uint64) error {
 	for i := uint64(0); ; i++ {
 		if i >= maxEvents {
 			return fmt.Errorf("netsim: event budget %d exhausted at t=%v µs", maxEvents, s.now)
+		}
+		if s.strong == 0 {
+			return nil
 		}
 		if !s.Step() {
 			return nil
@@ -143,18 +163,49 @@ type Network struct {
 
 	mediumFree Micros
 	handlers   map[int]Handler
+	down       map[int]bool
 
 	// Observer, when set, sees every frame the medium carries (the
 	// observability recorder implements it; see internal/obs).
 	Observer FrameObserver
 
+	// Inject, when set, decides per-frame fault injection (drops,
+	// duplicates, delays, corruption); see internal/chaos.
+	Inject Injector
+
+	// OnLost, when set, is called when a frame is discarded at delivery
+	// time because the destination node is down.
+	OnLost func(at Micros, src, dst int)
+
 	// Counters.
 	Frames     uint64
 	Bytes      uint64
 	PayloadLen uint64
+	// Lost counts frames sent but never delivered (injected drops plus
+	// frames addressed to down nodes); Dups counts injected duplicates.
+	Lost uint64
+	Dups uint64
 	// BusyMicros accumulates serialization time on the shared medium (the
 	// network's utilization clock).
 	BusyMicros Micros
+}
+
+// Verdict is a fault-injection decision for one frame in flight. The zero
+// Verdict delivers the frame normally.
+type Verdict struct {
+	Drop       bool   // discard the frame (it still occupied the medium)
+	Dup        bool   // deliver a second copy
+	DupDelay   Micros // extra delay on the duplicate (min 1µs)
+	ExtraDelay Micros // extra delivery delay on the primary copy
+	Corrupt    bool   // flip bits in the delivered copy
+	CorruptOff int    // byte offset to corrupt (mod payload length)
+	CorruptXor byte   // XOR mask applied at CorruptOff
+}
+
+// Injector decides the fate of each frame the medium carries. It must be
+// deterministic in (at, src, dst, payloadLen) and its own internal state.
+type Injector interface {
+	Frame(at Micros, src, dst, payloadLen int) Verdict
 }
 
 // FrameObserver receives frame-level events. xmitMicros is the frame's
@@ -193,6 +244,18 @@ func NewNetwork(sim *Sim) *Network {
 // Attach registers the frame handler for node id.
 func (n *Network) Attach(node int, h Handler) { n.handlers[node] = h }
 
+// SetNodeUp marks node id up or down. Frames addressed to a down node are
+// discarded at delivery time (the sender cannot tell; fail-stop model).
+func (n *Network) SetNodeUp(node int, up bool) {
+	if n.down == nil {
+		n.down = map[int]bool{}
+	}
+	n.down[node] = !up
+}
+
+// NodeUp reports whether node id is currently up.
+func (n *Network) NodeUp(node int) bool { return !n.down[node] }
+
 // Send transmits payload from src to dst. Transmission begins no earlier
 // than `earliest` (the sender's CPU finishing the marshalling work) and
 // after the shared medium frees up; the frame then serializes at the medium
@@ -223,9 +286,48 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 	}
 	n.mediumFree = start + xmit
 	deliverAt := n.mediumFree + n.LatencyMicros
-	buf := append([]byte(nil), payload...)
-	n.sim.At(deliverAt-n.sim.Now(), func() { h(src, buf) })
+	var v Verdict
+	if n.Inject != nil {
+		v = n.Inject.Frame(n.sim.Now(), src, dst, len(payload))
+	}
+	if v.Drop {
+		n.Lost++
+	} else {
+		buf := append([]byte(nil), payload...)
+		if v.Corrupt && len(buf) > 0 {
+			off := v.CorruptOff % len(buf)
+			if off < 0 {
+				off += len(buf)
+			}
+			buf[off] ^= v.CorruptXor
+		}
+		n.deliver(deliverAt+v.ExtraDelay, src, dst, h, buf)
+	}
+	if v.Dup {
+		n.Dups++
+		dup := append([]byte(nil), payload...)
+		d := v.DupDelay
+		if d < 1 {
+			d = 1
+		}
+		n.deliver(deliverAt+d, src, dst, h, dup)
+	}
 	return nil
+}
+
+// deliver schedules a frame's arrival; frames addressed to a node that is
+// down at the delivery instant vanish.
+func (n *Network) deliver(at Micros, src, dst int, h Handler, buf []byte) {
+	n.sim.At(at-n.sim.Now(), func() {
+		if n.down[dst] {
+			n.Lost++
+			if n.OnLost != nil {
+				n.OnLost(n.sim.Now(), src, dst)
+			}
+			return
+		}
+		h(src, buf)
+	})
 }
 
 // ResetCounters zeroes the traffic counters.

@@ -71,6 +71,32 @@ const (
 	EvGCCycle
 	// EvFault: a thread died; Str is the message.
 	EvFault
+	// EvFaultInject: the chaos injector faulted a frame from Node to node B;
+	// Str names the fault (drop/dup/delay/corrupt/partition).
+	EvFaultInject
+	// EvRetransmit: Node retransmitted link frame seq A to node B (Str is
+	// the inner message kind); Span holds the attempt number.
+	EvRetransmit
+	// EvMoveCommit: Node's move of Obj to node B (span Span) was acked by
+	// the destination and committed.
+	EvMoveCommit
+	// EvMoveAbort: Node aborted the move of Obj to node B (span Span); Str
+	// is the reason (timeout/refused/degraded).
+	EvMoveAbort
+	// EvMoveDupDrop: Node suppressed a duplicate Move of Obj (span Span)
+	// from node B — the object was already installed.
+	EvMoveDupDrop
+	// EvNodeCrash: Node crashed (fail-stop) at the scheduled instant.
+	EvNodeCrash
+	// EvNodeRestart: Node restarted with durable state intact.
+	EvNodeRestart
+	// EvNodeSuspect: Node started suspecting node B down (no frame for A µs).
+	EvNodeSuspect
+	// EvNodeRecover: Node heard from suspected node B again.
+	EvNodeRecover
+	// EvLinkDrop: Node discarded an undeliverable or unusable frame from
+	// node B (Str is the reason, e.g. crc/down).
+	EvLinkDrop
 )
 
 func (k Kind) String() string {
@@ -109,6 +135,26 @@ func (k Kind) String() string {
 		return "gc-cycle"
 	case EvFault:
 		return "fault"
+	case EvFaultInject:
+		return "fault-inject"
+	case EvRetransmit:
+		return "retransmit"
+	case EvMoveCommit:
+		return "move-commit"
+	case EvMoveAbort:
+		return "move-abort"
+	case EvMoveDupDrop:
+		return "move-dup-drop"
+	case EvNodeCrash:
+		return "node-crash"
+	case EvNodeRestart:
+		return "node-restart"
+	case EvNodeSuspect:
+		return "node-suspect"
+	case EvNodeRecover:
+		return "node-recover"
+	case EvLinkDrop:
+		return "link-drop"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -167,6 +213,26 @@ func (e Event) Text() string {
 		return fmt.Sprintf("node%d gc: freed %d objects (%d bytes)", e.Node, e.A, e.B)
 	case EvFault:
 		return fmt.Sprintf("node%d frag%08x FAULT: %s", e.Node, e.Frag, e.Str)
+	case EvFaultInject:
+		return fmt.Sprintf("chaos: %s frame node%d -> node%d", e.Str, e.Node, e.B)
+	case EvRetransmit:
+		return fmt.Sprintf("node%d retransmit seq %d -> node%d (%s, attempt %d)", e.Node, e.A, e.B, e.Str, e.Span)
+	case EvMoveCommit:
+		return fmt.Sprintf("node%d move-commit obj%08x -> node%d (span %d)", e.Node, e.Obj, e.B, e.Span)
+	case EvMoveAbort:
+		return fmt.Sprintf("node%d move-abort obj%08x -> node%d (span %d): %s", e.Node, e.Obj, e.B, e.Span, e.Str)
+	case EvMoveDupDrop:
+		return fmt.Sprintf("node%d dropped duplicate Move of obj%08x from node%d (span %d)", e.Node, e.Obj, e.B, e.Span)
+	case EvNodeCrash:
+		return fmt.Sprintf("node%d CRASHED", e.Node)
+	case EvNodeRestart:
+		return fmt.Sprintf("node%d restarted", e.Node)
+	case EvNodeSuspect:
+		return fmt.Sprintf("node%d suspects node%d down (silent %dµs)", e.Node, e.B, e.A)
+	case EvNodeRecover:
+		return fmt.Sprintf("node%d heard from node%d again", e.Node, e.B)
+	case EvLinkDrop:
+		return fmt.Sprintf("node%d dropped frame from node%d (%s)", e.Node, e.B, e.Str)
 	}
 	return fmt.Sprintf("node%d %s", e.Node, e.Kind)
 }

@@ -1,0 +1,79 @@
+// Link-layer envelope for the crash-tolerant delivery protocol: every frame
+// a kernel sends under a chaos plan is wrapped in a LinkFrame carrying a
+// per-channel sequence number and a CRC-32, so the receiver can reject
+// corrupted frames (the retransmission timer recovers them), deduplicate
+// and reorder-buffer data frames, and acknowledge receipt.
+
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Link frame kinds. The values deliberately collide with no MsgKind so a
+// bare Msg can never parse as a LinkFrame header by accident.
+const (
+	// LData is reliable payload: carries a serialized Msg, is acked by the
+	// receiver, retransmitted by the sender until acked, delivered exactly
+	// once and in sequence order per (src,dst) channel.
+	LData byte = 0xD1
+	// LAck acknowledges one LData sequence number (selective ack).
+	LAck byte = 0xD2
+	// LRaw is fire-and-forget with no payload semantics (heartbeats): not
+	// acked, not retransmitted, not sequenced.
+	LRaw byte = 0xD3
+)
+
+// LinkFrame is the envelope: [kind u8][seq u32][crc u32][inner ...] with
+// crc = CRC-32 (IEEE) over kind, seq and inner.
+type LinkFrame struct {
+	Kind  byte
+	Seq   uint32
+	Inner []byte
+}
+
+// linkHeaderBytes is the envelope overhead.
+const linkHeaderBytes = 1 + 4 + 4
+
+// ErrBadFrame reports a link frame that failed structural or CRC checks.
+type ErrBadFrame struct{ Reason string }
+
+func (e *ErrBadFrame) Error() string { return "wire: bad link frame: " + e.Reason }
+
+func linkCRC(kind byte, seq uint32, inner []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte{kind, byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)})
+	h.Write(inner)
+	return h.Sum32()
+}
+
+// Marshal serializes the frame.
+func (f *LinkFrame) Marshal() []byte {
+	e := &Enc{}
+	e.U8(f.Kind)
+	e.U32(f.Seq)
+	e.U32(linkCRC(f.Kind, f.Seq, f.Inner))
+	e.buf = append(e.buf, f.Inner...)
+	return e.Bytes()
+}
+
+// ParseLinkFrame parses and verifies a link frame. A short buffer, unknown
+// kind byte or CRC mismatch yields *ErrBadFrame — under chaos the caller
+// drops such frames silently and lets retransmission recover.
+func ParseLinkFrame(buf []byte) (*LinkFrame, error) {
+	if len(buf) < linkHeaderBytes {
+		return nil, &ErrBadFrame{Reason: fmt.Sprintf("short frame (%d bytes)", len(buf))}
+	}
+	f := &LinkFrame{Kind: buf[0]}
+	if f.Kind != LData && f.Kind != LAck && f.Kind != LRaw {
+		return nil, &ErrBadFrame{Reason: fmt.Sprintf("unknown kind 0x%02x", f.Kind)}
+	}
+	f.Seq = uint32(buf[1])<<24 | uint32(buf[2])<<16 | uint32(buf[3])<<8 | uint32(buf[4])
+	crc := uint32(buf[5])<<24 | uint32(buf[6])<<16 | uint32(buf[7])<<8 | uint32(buf[8])
+	f.Inner = buf[linkHeaderBytes:]
+	if got := linkCRC(f.Kind, f.Seq, f.Inner); got != crc {
+		return nil, &ErrBadFrame{Reason: fmt.Sprintf("crc mismatch (got %08x, frame says %08x)", got, crc)}
+	}
+	return f, nil
+}

@@ -141,10 +141,33 @@ func (d *Dec) Value() Value {
 	return Value{Kind: k, Bits: d.U32()}
 }
 
+// Count reads a U16 element count and rejects it when fewer than
+// count*minElemBytes bytes remain: a corrupt count field cannot force large
+// allocations or long decode loops over a short buffer.
+func (d *Dec) Count(minElemBytes int) int {
+	n := int(d.U16())
+	if d.err != nil {
+		return 0
+	}
+	if n*minElemBytes > len(d.buf)-d.off {
+		d.err = fmt.Errorf("wire: counted list of %d elements exceeds message", n)
+		return 0
+	}
+	return n
+}
+
+// Minimum encoded sizes of counted-list elements (for Count).
+const (
+	minValueBytes    = 5  // kind byte + 4 bytes of bits or length
+	minHintBytes     = 8  // OID + node
+	minFragmentBytes = 18 // fixed Fragment header
+	minActBytes      = 12 // fixed MIActivation header
+)
+
 // Values reads a counted list of values (nil for an empty list, matching
 // the zero value of the encoding side).
 func (d *Dec) Values() []Value {
-	n := int(d.U16())
+	n := d.Count(minValueBytes)
 	if n == 0 {
 		return nil
 	}
@@ -173,6 +196,7 @@ const (
 	MLocateReply                    //
 	MUpdateLoc                      // forwarding hint: OID now lives at node
 	MUnfixReq                       // unfix/refix control for a remote object
+	MMoveAck                        // destination's install ack for a Move (2PC)
 )
 
 func (k MsgKind) String() string {
@@ -193,6 +217,8 @@ func (k MsgKind) String() string {
 		return "updateloc"
 	case MUnfixReq:
 		return "unfixreq"
+	case MMoveAck:
+		return "moveack"
 	}
 	return fmt.Sprintf("msg(%d)", byte(k))
 }
@@ -244,6 +270,8 @@ func Unmarshal(buf []byte) (*Msg, error) {
 		m.Payload = &UpdateLoc{}
 	case MUnfixReq:
 		m.Payload = &UnfixReq{}
+	case MMoveAck:
+		m.Payload = &MoveAck{}
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", k)
 	}
@@ -299,7 +327,7 @@ func (p *Invoke) unmarshal(d *Dec) {
 	p.Origin = d.I32()
 	p.CallerFrag = d.U32()
 	p.Args = d.Values()
-	n := int(d.U16())
+	n := d.Count(minHintBytes)
 	for i := 0; i < n; i++ {
 		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
 	}
@@ -344,7 +372,7 @@ func (p *Return) unmarshal(d *Dec) {
 	p.Ok = d.U8() != 0
 	p.Result = d.Value()
 	p.FaultMsg = string(d.Str())
-	n := int(d.U16())
+	n := d.Count(minHintBytes)
 	for i := 0; i < n; i++ {
 		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
 	}
@@ -499,7 +527,7 @@ func (f *Fragment) unmarshal(d *Dec) {
 	f.Status = FragStatus(d.U8())
 	f.CondIndex = d.U16()
 	f.Executing = d.U8() != 0
-	n := int(d.U16())
+	n := d.Count(minActBytes)
 	for i := 0; i < n; i++ {
 		var a MIActivation
 		a.unmarshal(d)
@@ -595,20 +623,20 @@ func (p *Move) unmarshal(d *Dec) {
 	p.ArrayElemKind = d.U8()
 	p.Data = d.Values()
 	p.MonHolder = d.U32()
-	n := int(d.U16())
+	n := d.Count(4)
 	for i := 0; i < n; i++ {
 		p.EntryQueue = append(p.EntryQueue, d.U32())
 	}
-	nq := int(d.U16())
+	nq := d.Count(2)
 	for i := 0; i < nq; i++ {
-		m := int(d.U16())
+		m := d.Count(4)
 		var q []uint32
 		for j := 0; j < m; j++ {
 			q = append(q, d.U32())
 		}
 		p.CondQueues = append(p.CondQueues, q)
 	}
-	nf := int(d.U16())
+	nf := d.Count(minFragmentBytes)
 	for i := 0; i < nf; i++ {
 		var f Fragment
 		f.unmarshal(d)
@@ -617,7 +645,7 @@ func (p *Move) unmarshal(d *Dec) {
 		}
 		p.Frags = append(p.Frags, f)
 	}
-	nh := int(d.U16())
+	nh := d.Count(minHintBytes)
 	for i := 0; i < nh; i++ {
 		p.Hints = append(p.Hints, LocHint{OID: d.OID(), Node: d.I32()})
 	}
@@ -694,6 +722,41 @@ func (p *UpdateLoc) unmarshal(d *Dec) {
 	p.Target = d.OID()
 	p.Node = d.I32()
 	p.Epoch = d.U32()
+}
+
+// MoveAck is the destination's answer to a Move: the second phase of the
+// move commit. Ok means the object was installed (or was already installed
+// — duplicate Moves are re-acked) and the source may release it; !Ok
+// carries the validation error and the source aborts the move.
+type MoveAck struct {
+	Object oid.OID
+	SpanID uint32 // echoes Move.SpanID, keying the source's pending commit
+	Epoch  uint32 // echoes Move.Epoch
+	Ok     bool
+	Err    string
+}
+
+// Kind implements Payload.
+func (p *MoveAck) Kind() MsgKind { return MMoveAck }
+
+func (p *MoveAck) marshal(e *Enc) {
+	e.OID(p.Object)
+	e.U32(p.SpanID)
+	e.U32(p.Epoch)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.Str([]byte(p.Err))
+}
+
+func (p *MoveAck) unmarshal(d *Dec) {
+	p.Object = d.OID()
+	p.SpanID = d.U32()
+	p.Epoch = d.U32()
+	p.Ok = d.U8() != 0
+	p.Err = string(d.Str())
 }
 
 // ErrTruncated is returned for short buffers.
