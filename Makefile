@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke chaos-smoke fuzz-smoke
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke fuzz-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke chaos-smoke fuzz-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,26 @@ emtrace-smoke:
 	$(GO) run ./cmd/emtrace -chrome .ci/kilroy_trace.json -metrics .ci/kilroy_metrics.json examples/programs/kilroy.em
 	$(GO) run ./tools/jsoncheck .ci/kilroy_trace.json .ci/kilroy_metrics.json
 
-# embench table1 must write parseable BENCH_table1.json.
+# embench table1 must write parseable BENCH_table1.json, and the fresh
+# simulated metrics must stay within 20% of the committed baseline (the
+# simulation is deterministic, so real drift means a behavior change;
+# refresh deliberately with `make bench-baselines`).
 benchjson-smoke:
 	mkdir -p .ci
-	$(GO) run ./cmd/embench -out .ci table1 > /dev/null
+	$(GO) run ./cmd/embench -out .ci -baseline . table1 > /dev/null
 	$(GO) run ./tools/jsoncheck .ci/BENCH_table1.json
+
+# Every Go benchmark must still run (one iteration): keeps the benchmark
+# corpus and its AllocsPerRun/metric plumbing from bit-rotting.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the committed BENCH_*.json baselines (run after a deliberate
+# model change, then commit the diff).
+bench-baselines:
+	$(GO) run ./cmd/embench table1 > /dev/null
+	$(GO) run ./cmd/embench fig2 > /dev/null
+	$(GO) run ./cmd/embench conv > /dev/null
 
 # The kilroy tour under a seeded fault plan — 5% drops, duplicates,
 # delays, corruption and a mid-tour crash/restart of node 2 — must print

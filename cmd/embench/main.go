@@ -5,22 +5,61 @@
 //
 // Usage:
 //
-//	embench [-out dir] [table1|fig1|fig2|fig3|intranode|conv|ablations|all]
+//	embench [-out dir] [-baseline dir] [table1|fig1|fig2|fig3|intranode|conv|ablations|all]
 //
 // The table1, fig2 and conv experiments additionally write machine-readable
 // results (BENCH_table1.json, BENCH_fig2.json, BENCH_conv.json) into -out
 // (default: the current directory) for CI and plotting scripts.
+//
+// With -baseline, each freshly written BENCH_*.json is compared against
+// the file of the same name in the baseline directory (typically the
+// repo root, where the committed baselines live); any simulated metric
+// drifting more than 20% — or any structural change — is an error. The
+// simulation is deterministic, so an unintended behavior change shows up
+// as drift here even when the human-readable report looks plausible.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/netsim"
 )
+
+// baselineTol is the relative drift allowed against a committed
+// baseline before the run fails.
+const baselineTol = 0.20
+
+// baselineDir is the -baseline flag: when set, freshly written
+// BENCH_*.json files are checked against their committed counterparts.
+var baselineDir string
+
+// checkBaseline compares the freshly written result at freshPath with
+// the committed baseline of the same name, when -baseline is set.
+func checkBaseline(freshPath string) error {
+	if baselineDir == "" {
+		return nil
+	}
+	name := filepath.Base(freshPath)
+	basePath := filepath.Join(baselineDir, name)
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	fresh, err := os.ReadFile(freshPath)
+	if err != nil {
+		return err
+	}
+	if err := exp.CompareBenchJSON(fresh, base, baselineTol); err != nil {
+		return fmt.Errorf("%s vs baseline %s: %w", freshPath, basePath, err)
+	}
+	fmt.Fprintf(os.Stderr, "embench: %s matches baseline %s\n", freshPath, basePath)
+	return nil
+}
 
 // subcommands lists every experiment in presentation order.
 var subcommands = []struct {
@@ -47,6 +86,8 @@ func usage() {
 
 func main() {
 	outDir := flag.String("out", ".", "directory for BENCH_*.json result files")
+	flag.StringVar(&baselineDir, "baseline", "",
+		"directory of committed BENCH_*.json baselines to compare against (>20% drift fails)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 1 {
@@ -108,7 +149,7 @@ func table1(outDir string) error {
 		return err
 	}
 	wrote(path)
-	return nil
+	return checkBaseline(path)
 }
 
 func figure1(string) error {
@@ -135,7 +176,7 @@ func figure2(outDir string) error {
 		return err
 	}
 	wrote(path)
-	return nil
+	return checkBaseline(path)
 }
 
 func figure3(string) error {
@@ -175,5 +216,5 @@ func conv(outDir string) error {
 		return err
 	}
 	wrote(path)
-	return nil
+	return checkBaseline(path)
 }

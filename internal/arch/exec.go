@@ -386,10 +386,12 @@ func boolW(b bool) uint32 {
 	return 0
 }
 
-// Run executes instructions until a trap occurs or budget instructions have
-// executed, returning the trap (nil if the budget expired), the cycles
-// consumed, and the instruction count.
-func Run(s *Spec, cpu *CPU, code []byte, mem []byte, budget int) (*Trap, uint64, int, error) {
+// RunLegacy executes instructions until a trap occurs or budget
+// instructions have executed, returning the trap (nil if the budget
+// expired), the cycles consumed, and the instruction count. It decodes
+// byte-at-a-time via Step and is the reference implementation the
+// predecoded dispatcher (predecode.go) is validated against.
+func RunLegacy(s *Spec, cpu *CPU, code []byte, mem []byte, budget int) (*Trap, uint64, int, error) {
 	var cycles uint64
 	for n := 0; n < budget; n++ {
 		tr, c, err := Step(s, cpu, code, mem)

@@ -1,0 +1,126 @@
+package arch
+
+import (
+	"testing"
+)
+
+// buildCountdown emits the standard countdown loop used by the dispatch
+// benchmarks: mov imm→r1; top: mov 1→r2; sub; brnz top; ret.
+func buildCountdown(t testing.TB, s *Spec, iters uint32) []byte {
+	t.Helper()
+	var code []byte
+	var err error
+	emit := func(in Instr) {
+		code, err = Encode(s, code, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit(Instr{Op: OpMov, N: 2, Operands: [3]Operand{Imm(iters), Reg(1)}})
+	top := uint32(len(code))
+	emit(Instr{Op: OpMov, N: 2, Operands: [3]Operand{Imm(1), Reg(2)}})
+	emit(Instr{Op: OpSub, N: 3, Operands: [3]Operand{Reg(1), Reg(2), Reg(1)}})
+	emit(Instr{Op: OpBrnz, N: 1, Operands: [3]Operand{Reg(1)}, Target: uint16(top)})
+	emit(Instr{Op: OpRet})
+	return code
+}
+
+// Steady-state dispatch over a predecoded function must not allocate:
+// the executor state lives in one stack frame and the instruction cache
+// is read-only. (Traps allocate their *Trap — that is a kernel-entry
+// event, not steady state — so the budget expires mid-loop here.)
+func TestPredecodedDispatchSteadyStateAllocs(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code := buildCountdown(t, s, 1_000_000)
+			pd, err := Predecode(s, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := make([]byte, 4096)
+			// The CPU lives outside the measured closure, as it does in the
+			// kernel (inside the long-lived thread structure).
+			var cpu CPU
+			got := testing.AllocsPerRun(100, func() {
+				cpu = CPU{FP: 256, TempBase: 512}
+				tr, _, _, err := RunPredecoded(s, pd, &cpu, mem, 5000)
+				if err != nil || tr != nil {
+					t.Fatalf("unexpected stop: %v %v", tr, err)
+				}
+			})
+			if got != 0 {
+				t.Errorf("steady-state dispatch allocates %.1f allocs/run, want 0", got)
+			}
+		})
+	}
+}
+
+// A PC that does not start a predecoded instruction (a computed jump
+// into the middle of an encoding) must fall back to Step and behave
+// exactly like the legacy loop.
+func TestPredecodedFallbackMatchesLegacy(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code := buildCountdown(t, s, 3)
+			pd, err := Predecode(s, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Start mid-instruction: PC 1 is inside the first mov on every
+			// ISA (smallest encoding is 4 bytes).
+			mem1 := make([]byte, 4096)
+			mem2 := make([]byte, 4096)
+			cpu1 := CPU{PC: 1, FP: 256, TempBase: 512}
+			cpu2 := cpu1
+			tr1, cy1, n1, err1 := RunPredecoded(s, pd, &cpu1, mem1, 100)
+			tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, 100)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: %v vs %v", err1, err2)
+			}
+			if err1 != nil && err1.Error() != err2.Error() {
+				t.Fatalf("error text mismatch: %v vs %v", err1, err2)
+			}
+			if cy1 != cy2 || n1 != n2 {
+				t.Errorf("cycles/instrs: %d/%d vs %d/%d", cy1, n1, cy2, n2)
+			}
+			if (tr1 == nil) != (tr2 == nil) {
+				t.Fatalf("trap mismatch: %+v vs %+v", tr1, tr2)
+			}
+			if tr1 != nil && *tr1 != *tr2 {
+				t.Errorf("trap: %+v vs %+v", *tr1, *tr2)
+			}
+			if cpu1 != cpu2 {
+				t.Errorf("cpu state: %+v vs %+v", cpu1, cpu2)
+			}
+		})
+	}
+}
+
+// The exhaustive cross-check: run the countdown to completion under both
+// dispatchers and compare everything.
+func TestPredecodedMatchesLegacyToCompletion(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code := buildCountdown(t, s, 1000)
+			pd, err := Predecode(s, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem1 := make([]byte, 4096)
+			mem2 := make([]byte, 4096)
+			cpu1 := CPU{FP: 256, TempBase: 512}
+			cpu2 := cpu1
+			tr1, cy1, n1, err1 := RunPredecoded(s, pd, &cpu1, mem1, 1<<30)
+			tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, 1<<30)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v %v", err1, err2)
+			}
+			if tr1 == nil || tr2 == nil || *tr1 != *tr2 {
+				t.Fatalf("traps: %+v vs %+v", tr1, tr2)
+			}
+			if cy1 != cy2 || n1 != n2 || cpu1 != cpu2 {
+				t.Errorf("state: %d/%d/%+v vs %d/%d/%+v", cy1, n1, cpu1, cy2, n2, cpu2)
+			}
+		})
+	}
+}

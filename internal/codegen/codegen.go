@@ -44,6 +44,13 @@ type FuncCode struct {
 	Strings []string
 	// NumInstrs is the instruction count (differs per ISA for the same IR).
 	NumInstrs int
+	// Decoded is the predecoded instruction cache the emulator dispatches
+	// over (arch.RunPredecoded). Built here at compile time — the encoded
+	// stream is immutable from this point on — and shared by every node
+	// that loads this function. Nil for hand-built FuncCode values; the
+	// kernel predecodes those at load (or falls back to byte-at-a-time
+	// dispatch if the stream does not decode).
+	Decoded *arch.Predecoded
 }
 
 // ArchCode is one object's code for one architecture.
@@ -338,6 +345,12 @@ func compileFunc(spec *arch.Spec, obj *ir.Object, f *ir.Func, opts Options) (*Fu
 	if err != nil {
 		return nil, err
 	}
+	dec, err := arch.Predecode(spec, lo.code)
+	if err != nil {
+		// The lowerer emits decodable placeholders even for unreachable
+		// slots, so a predecode failure here is a back-end bug.
+		return nil, fmt.Errorf("%s: predecode %s: %w", spec.Name, f.Name, err)
+	}
 	return &FuncCode{
 		Name:      f.Name,
 		OpName:    f.OpName,
@@ -346,6 +359,7 @@ func compileFunc(spec *arch.Spec, obj *ir.Object, f *ir.Func, opts Options) (*Fu
 		Stops:     tbl,
 		Strings:   f.Strings,
 		NumInstrs: lo.n,
+		Decoded:   dec,
 	}, nil
 }
 

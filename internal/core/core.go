@@ -93,6 +93,10 @@ type Options struct {
 	Placement func(objName string, rootIdx int) int
 	// MaxEvents bounds the simulation (0: a generous default).
 	MaxEvents uint64
+	// LegacyDispatch forces the byte-at-a-time reference emulator instead
+	// of predecoded dispatch (identical observable behavior; used by the
+	// differential tests).
+	LegacyDispatch bool
 	// Trace receives kernel event lines.
 	Trace func(string)
 	// Chaos, when non-nil, injects a seeded deterministic fault plan
@@ -168,6 +172,7 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.Mode = opts.Mode
 	cfg.Trace = opts.Trace
 	cfg.VetOnLoad = opts.VetOnLoad
+	cfg.LegacyDispatch = opts.LegacyDispatch
 	cfg.Chaos = opts.Chaos
 	cl, err := kernel.NewCluster(prog, machines, cfg)
 	if err != nil {

@@ -1,0 +1,106 @@
+// Baseline comparison for the BENCH_*.json files: the simulation is
+// deterministic, so the committed baselines should reproduce exactly,
+// but the gate allows a tolerance so that intentional small model
+// recalibrations do not force a baseline refresh in the same commit.
+// Anything beyond the tolerance — or any structural change — fails,
+// which is how CI distinguishes "the simulator got faster" (fine; these
+// are simulated metrics, not wall-clock) from "the simulator computes
+// different numbers" (a behavior change that must be deliberate).
+
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CompareBenchJSON checks fresh against baseline, returning an error
+// listing every numeric field whose relative drift exceeds tol (e.g.
+// 0.20 for 20%) and every structural difference (missing/extra fields,
+// changed strings, different row counts).
+func CompareBenchJSON(fresh, baseline []byte, tol float64) error {
+	var f, b any
+	if err := json.Unmarshal(fresh, &f); err != nil {
+		return fmt.Errorf("fresh result: %w", err)
+	}
+	if err := json.Unmarshal(baseline, &b); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var drifts []string
+	cmpBenchValue("$", f, b, tol, &drifts)
+	if len(drifts) == 0 {
+		return nil
+	}
+	const max = 10
+	n := len(drifts)
+	if n > max {
+		drifts = append(drifts[:max], fmt.Sprintf("... and %d more", n-max))
+	}
+	return fmt.Errorf("%d field(s) drifted beyond %.0f%%:\n  %s",
+		n, tol*100, strings.Join(drifts, "\n  "))
+}
+
+func cmpBenchValue(path string, fresh, base any, tol float64, drifts *[]string) {
+	switch b := base.(type) {
+	case map[string]any:
+		f, ok := fresh.(map[string]any)
+		if !ok {
+			*drifts = append(*drifts, fmt.Sprintf("%s: expected object, got %T", path, fresh))
+			return
+		}
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fv, ok := f[k]
+			if !ok {
+				*drifts = append(*drifts, fmt.Sprintf("%s.%s: missing in fresh result", path, k))
+				continue
+			}
+			cmpBenchValue(path+"."+k, fv, b[k], tol, drifts)
+		}
+		for k := range f {
+			if _, ok := b[k]; !ok {
+				*drifts = append(*drifts, fmt.Sprintf("%s.%s: not in baseline", path, k))
+			}
+		}
+	case []any:
+		f, ok := fresh.([]any)
+		if !ok {
+			*drifts = append(*drifts, fmt.Sprintf("%s: expected array, got %T", path, fresh))
+			return
+		}
+		if len(f) != len(b) {
+			*drifts = append(*drifts, fmt.Sprintf("%s: %d entries, baseline has %d", path, len(f), len(b)))
+			return
+		}
+		for i := range b {
+			cmpBenchValue(fmt.Sprintf("%s[%d]", path, i), f[i], b[i], tol, drifts)
+		}
+	case float64:
+		f, ok := fresh.(float64)
+		if !ok {
+			*drifts = append(*drifts, fmt.Sprintf("%s: expected number, got %T", path, fresh))
+			return
+		}
+		if f == b {
+			return
+		}
+		// Relative drift against the baseline magnitude; a baseline of
+		// exactly 0 admits no drift at all (there is no scale to be 20%
+		// of).
+		if b == 0 || math.Abs(f-b)/math.Abs(b) > tol {
+			*drifts = append(*drifts, fmt.Sprintf("%s: %v, baseline %v", path, f, b))
+		}
+	default:
+		// Strings, bools, nulls: identity or structural failure.
+		if fresh != base {
+			*drifts = append(*drifts, fmt.Sprintf("%s: %v, baseline %v", path, fresh, base))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchJSONIdentical(t *testing.T) {
+	doc := []byte(`{"benchmark":"t","rows":[{"pair":"a","ms":10.5,"calls":26}]}`)
+	if err := CompareBenchJSON(doc, doc, 0.20); err != nil {
+		t.Errorf("identical documents flagged: %v", err)
+	}
+}
+
+func TestCompareBenchJSONWithinTolerance(t *testing.T) {
+	base := []byte(`{"ms":100,"n":26}`)
+	fresh := []byte(`{"ms":115,"n":26}`)
+	if err := CompareBenchJSON(fresh, base, 0.20); err != nil {
+		t.Errorf("15%% drift flagged at 20%% tolerance: %v", err)
+	}
+}
+
+func TestCompareBenchJSONDrift(t *testing.T) {
+	base := []byte(`{"rows":[{"pair":"a","ms":100}]}`)
+	fresh := []byte(`{"rows":[{"pair":"a","ms":130}]}`)
+	err := CompareBenchJSON(fresh, base, 0.20)
+	if err == nil {
+		t.Fatal("30% drift not flagged at 20% tolerance")
+	}
+	if !strings.Contains(err.Error(), "$.rows[0].ms") {
+		t.Errorf("error does not name the drifted field: %v", err)
+	}
+}
+
+func TestCompareBenchJSONStructure(t *testing.T) {
+	base := []byte(`{"rows":[{"pair":"a","ms":100},{"pair":"b","ms":100}],"unit":"ms"}`)
+	for _, tc := range []struct {
+		name, fresh, wantIn string
+	}{
+		{"missing field", `{"rows":[{"pair":"a"},{"pair":"b","ms":100}],"unit":"ms"}`, "missing in fresh"},
+		{"extra field", `{"rows":[{"pair":"a","ms":100,"x":1},{"pair":"b","ms":100}],"unit":"ms"}`, "not in baseline"},
+		{"row count", `{"rows":[{"pair":"a","ms":100}],"unit":"ms"}`, "entries"},
+		{"string change", `{"rows":[{"pair":"Z","ms":100},{"pair":"b","ms":100}],"unit":"ms"}`, "$.rows[0].pair"},
+		{"zero baseline", `{"rows":[{"pair":"a","ms":100},{"pair":"b","ms":100}],"unit":"ms","z":1}`, "not in baseline"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CompareBenchJSON([]byte(tc.fresh), base, 0.20)
+			if err == nil {
+				t.Fatal("structural difference not flagged")
+			}
+			if !strings.Contains(err.Error(), tc.wantIn) {
+				t.Errorf("error %q does not mention %q", err, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestCompareBenchJSONZeroBaseline(t *testing.T) {
+	base := []byte(`{"ms":0}`)
+	if err := CompareBenchJSON([]byte(`{"ms":0}`), base, 0.20); err != nil {
+		t.Errorf("0 vs 0 flagged: %v", err)
+	}
+	if err := CompareBenchJSON([]byte(`{"ms":0.1}`), base, 0.20); err == nil {
+		t.Error("nonzero against zero baseline not flagged")
+	}
+}

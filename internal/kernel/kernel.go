@@ -120,6 +120,12 @@ type Config struct {
 	// bus-stop tables or mismatched templates would otherwise corrupt the
 	// first thread that migrates through it.
 	VetOnLoad bool
+	// LegacyDispatch forces the byte-at-a-time reference emulator
+	// (arch.Step / arch.RunLegacy) instead of the predecoded instruction
+	// cache. Observable behavior — traps, cycle counts, memory images,
+	// printed output — is identical either way; the differential tests
+	// flip this knob to prove it. The legacy path is ~7x slower.
+	LegacyDispatch bool
 	// Trace, when set, receives kernel event lines (for debugging). It is
 	// installed as a text sink over the structured event stream (see
 	// internal/obs): every emitted event renders as one legacy-style line.

@@ -294,7 +294,8 @@ func (n *Node) moveImmutable(o *Obj, dest int) {
 func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 	tx := n.newMoveTxn(o, dest, fix)
 	n.charge(uint64(n.cluster.Costs.MigrateCycles))
-	conv := n.cluster.converterFor(n, n.cluster.Nodes[dest].Spec.ID)
+	peer := n.cluster.Nodes[dest].Spec.ID
+	conv := n.cluster.converterFor(n, peer)
 	prev := conv.Stats()
 
 	// Deterministic fragment order.
@@ -448,7 +449,7 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 					wf.Status = wire.FragBlockedCall
 				}
 				for k := seg.a; k <= seg.b; k++ {
-					act, vs := n.marshalFrame(conv, frames[k])
+					act, vs := n.marshalFrame(conv, peer, frames[k])
 					n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
 						Kind: obs.EvThreadStop, Span: sp.ID, Frag: fr.ID,
 						Obj: uint32(o.OID), A: uint64(act.Stop), Str: frames[k].lf.name()})
@@ -648,45 +649,15 @@ func (n *Node) mustAddr(o *Obj) uint32 {
 }
 
 // marshalFrame converts one activation to machine-independent form,
-// returning also the shipped values (for hint collection).
-func (n *Node) marshalFrame(conv wire.Converter, fi frameInfo) (wire.MIActivation, []wire.Value) {
-	t := fi.lf.fc.Template
-	act := wire.MIActivation{
-		CodeOID:   fi.lf.code.oc.CodeOID,
-		FuncIndex: uint16(fi.lf.idx),
-	}
+// returning also the shipped values (for hint collection). It runs over
+// the cached conversion plan for (function, stop, peer ISA) — see
+// plan.go — compiling it on the first hop through this stop.
+func (n *Node) marshalFrame(conv wire.Converter, peer arch.ID, fi frameInfo) (wire.MIActivation, []wire.Value) {
+	stopNum := uint16(fi.stop.Stop)
 	if fi.entry {
-		act.Stop = wire.EntryStop
-	} else {
-		act.Stop = uint16(fi.stop.Stop)
+		stopNum = wire.EntryStop
 	}
-	var shipped []wire.Value
-	for _, h := range t.Vars {
-		var w uint32
-		if h.InReg {
-			w = fi.regs[h.Reg&0xf]
-		} else {
-			w = n.ld32(fi.fp + uint32(h.Off))
-		}
-		v, err := n.wireTempValue(conv, h.Kind, w)
-		if err != nil {
-			panic(fmt.Sprintf("kernel: marshal %s var %s: %v", fi.lf.name(), h.Name, err))
-		}
-		act.Vars = append(act.Vars, v)
-		shipped = append(shipped, v)
-	}
-	if !fi.entry {
-		for j := 0; j < fi.tempDepth; j++ {
-			w := n.ld32(fi.fp + uint32(t.TempOff) + uint32(4*j))
-			v, err := n.wireTempValue(conv, tempKindAt(fi.stop, j), w)
-			if err != nil {
-				panic(fmt.Sprintf("kernel: marshal %s temp %d: %v", fi.lf.name(), j, err))
-			}
-			act.Temps = append(act.Temps, v)
-			shipped = append(shipped, v)
-		}
-	}
-	return act, shipped
+	return n.marshalFramePlanned(conv, fi, n.planFor(fi.lf, stopNum, peer))
 }
 
 // ---------------------------------------------------------------- receive
@@ -874,7 +845,9 @@ func (n *Node) installFragment(src int, wf *wire.Fragment, obj *Obj,
 		stop  busstop.Info
 		entry bool
 	}
-	// Convert youngest first (wire order).
+	// Convert youngest first (wire order), through the cached plan for
+	// (function, stop, sender ISA) — see plan.go.
+	peer := n.cluster.Nodes[src].Spec.ID
 	cfs := make([]convFrame, len(wf.Acts))
 	for i := range wf.Acts {
 		a := &wf.Acts[i]
@@ -883,30 +856,27 @@ func (n *Node) installFragment(src int, wf *wire.Fragment, obj *Obj,
 			panic(fmt.Sprintf("kernel: node %d: %v", n.ID, err))
 		}
 		lf := lc.funcs[a.FuncIndex]
-		cf := convFrame{lf: lf}
-		if a.Stop == wire.EntryStop {
-			cf.entry = true
-		} else {
-			stop, err := lf.fc.Stops.ByStop(int(a.Stop))
-			if err != nil {
-				panic(fmt.Sprintf("kernel: %v", err))
-			}
-			cf.stop = stop
+		pl := n.planFor(lf, a.Stop, peer)
+		cf := convFrame{lf: lf, stop: pl.stop, entry: pl.entry}
+		if len(a.Vars) > 0 {
+			cf.vars = make([]uint32, len(a.Vars))
 		}
-		t := lf.fc.Template
 		for vi, v := range a.Vars {
-			w, err := n.unwireValue(conv, t.Vars[vi].Kind, v, hints, src)
+			w, err := n.unwireClassValue(conv, pl.vars[vi].class, v, hints, src)
 			if err != nil {
 				panic(fmt.Sprintf("kernel: unmarshal var: %v", err))
 			}
-			cf.vars = append(cf.vars, w)
+			cf.vars[vi] = w
+		}
+		if len(a.Temps) > 0 {
+			cf.temps = make([]uint32, len(a.Temps))
 		}
 		for ti, v := range a.Temps {
-			w, err := n.unwireValue(conv, tempKindAt(cf.stop, ti), v, hints, src)
+			w, err := n.unwireClassValue(conv, pl.tempClassAt(ti), v, hints, src)
 			if err != nil {
 				panic(fmt.Sprintf("kernel: unmarshal temp: %v", err))
 			}
-			cf.temps = append(cf.temps, w)
+			cf.temps[ti] = w
 		}
 		cfs[i] = cf
 	}

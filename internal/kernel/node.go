@@ -31,6 +31,13 @@ type loadedFunc struct {
 	idx     int
 	desc    uint32 // node-local code descriptor (stored in AR RetDesc words)
 	litBase uint32 // address of the literal table (one ref word per string)
+	// pd is the predecoded instruction cache runSlice dispatches over; nil
+	// forces the legacy byte-at-a-time path (Config.LegacyDispatch, or a
+	// hand-built stream that does not predecode).
+	pd *arch.Predecoded
+	// plans caches compiled conversion plans per (bus stop, peer ISA); see
+	// plan.go. Lazily filled on first MD→MI conversion at each stop.
+	plans map[planKey]*convPlan
 }
 
 func (lf *loadedFunc) name() string { return lf.fc.Name }
@@ -293,6 +300,16 @@ func (n *Node) loadCode(code oid.OID) (*loadedCode, error) {
 	lc := &loadedCode{oc: oc, ac: ac}
 	for i, fc := range ac.Funcs {
 		lf := &loadedFunc{code: lc, fc: fc, idx: i, desc: uint32(len(n.descs))}
+		if !n.cluster.LegacyDispatch {
+			lf.pd = fc.Decoded
+			if lf.pd == nil {
+				// Hand-built FuncCode (tests, analyzers): predecode at
+				// load; a stream that does not decode end-to-end keeps
+				// pd nil and runs on the legacy path, which reports the
+				// bad instruction if execution ever reaches it.
+				lf.pd, _ = arch.Predecode(n.Spec, fc.Code)
+			}
+		}
 		// Literal table: one word per string-pool entry, holding a
 		// reference to the interned string object.
 		base, err := n.alloc(uint32(4 * max(1, len(fc.Strings))))
@@ -445,7 +462,17 @@ func (n *Node) runSlice(f *Frag) {
 	f.Status = FragStateRunning
 	for {
 		f.CPU.Preempt = len(n.runq) > 0
-		tr, cycles, instrs, err := arch.Run(n.Spec, &f.CPU, f.fn.fc.Code, n.Mem, n.cluster.SliceInstrs)
+		var (
+			tr     *arch.Trap
+			cycles uint64
+			instrs int
+			err    error
+		)
+		if pd := f.fn.pd; pd != nil {
+			tr, cycles, instrs, err = arch.RunPredecoded(n.Spec, pd, &f.CPU, n.Mem, n.cluster.SliceInstrs)
+		} else {
+			tr, cycles, instrs, err = arch.RunLegacy(n.Spec, &f.CPU, f.fn.fc.Code, n.Mem, n.cluster.SliceInstrs)
+		}
 		n.charge(cycles)
 		n.Instrs += uint64(instrs)
 		if err != nil {
@@ -541,14 +568,20 @@ func (n *Node) sendMsg(dst int, p wire.Payload) (int, netsim.Micros) {
 // is certain) and the bytes on the wire are exactly the legacy format.
 func (n *Node) sendMsgAck(dst int, p wire.Payload, onAck func()) (int, netsim.Micros) {
 	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.cluster.nextSeq(), Payload: p}
-	buf := m.Marshal()
+	// Marshal into a pooled scratch buffer: netsim.Send copies the payload
+	// into its own delivery buffer and the chaos link layer copies it into
+	// the retransmission frame, so the scratch can be released as soon as
+	// the send call returns.
+	e := wire.GetEnc(256)
+	buf := m.MarshalTo(e)
+	size := len(buf)
 	n.charge(uint64(n.cluster.Costs.SendCycles) +
-		uint64(n.cluster.Costs.PerByteCycles)*uint64(len(buf)))
-	n.protoConvCharge(dst, len(buf))
+		uint64(n.cluster.Costs.PerByteCycles)*uint64(size))
+	n.protoConvCharge(dst, size)
 	n.MsgsSent++
 	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvWireSend,
-		A: uint64(len(buf)), B: uint64(dst), Str: p.Kind().String()})
-	n.cluster.Rec.Metrics().Add("msg_bytes", "msg="+p.Kind().String(), uint64(len(buf)))
+		A: uint64(size), B: uint64(dst), Str: p.Kind().String()})
+	n.cluster.Rec.Metrics().Add("msg_bytes", "msg="+p.Kind().String(), uint64(size))
 	n.cluster.Rec.Metrics().Add("msgs", "msg="+p.Kind().String(), 1)
 	// Transmission starts once the CPU has finished marshalling.
 	if n.chaosOn() {
@@ -556,7 +589,8 @@ func (n *Node) sendMsgAck(dst int, p wire.Payload, onAck func()) (int, netsim.Mi
 	} else if err := n.cluster.Net.Send(n.ID, dst, buf, n.CPU.FreeAt); err != nil {
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
-	return len(buf), n.CPU.FreeAt
+	e.Release()
+	return size, n.CPU.FreeAt
 }
 
 // netSend puts one raw frame on the medium (chaos paths; no protocol

@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/busstop"
+	"repro/internal/ir"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// planAllocSrc gives Probe.work a mixed int/real frame and a syscall bus
+// stop (the print), with no pointer-kind locals, so the conversion path
+// under test never touches the swizzler.
+const planAllocSrc = `
+object Probe
+  var base: Int <- 0
+  operation work(x: Int, y: Real) -> (r: Int)
+    var a: Int <- 3
+    var b: Real <- 1.5
+    print(x)
+    r <- a + x
+  end
+end Probe
+object Main
+  process
+    var p: Probe <- new Probe
+    print(p.work(4, 2.5))
+  end process
+end Main
+`
+
+// One warm-plan MD→MI→MD conversion of a frame is pinned at a single
+// allocation: the combined value slice marshalFramePlanned returns. Plan
+// compilation, template interpretation and per-value boxing must all be
+// off the steady-state path.
+func TestWarmPlanConversionAllocs(t *testing.T) {
+	p := compileSrc(t, planAllocSrc)
+	c, err := NewCluster(p, []netsim.MachineModel{mVAX, mSPARC}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	n := c.Nodes[0]
+	oc := p.Object("Probe")
+	if oc == nil {
+		t.Fatal("no Probe object")
+	}
+	lc, err := n.loadCode(oc.CodeOID)
+	if err != nil {
+		t.Fatalf("loadCode: %v", err)
+	}
+	fnIdx := oc.FuncIndex("work")
+	if fnIdx < 0 {
+		t.Fatal("no work function")
+	}
+	lf := lc.funcs[fnIdx]
+	tmpl := lf.fc.Template
+
+	// Pick a bus stop whose evaluation stack holds no pointers (the
+	// syscall stop of the print qualifies; most have an empty stack).
+	var stop busstop.Info
+	found := false
+	for _, s := range lf.fc.Stops.All() {
+		ok := true
+		for _, k := range s.TempKinds {
+			if k == ir.VKPtr {
+				ok = false
+			}
+		}
+		if ok {
+			stop, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no pointer-free bus stop in work")
+	}
+	tempDepth := stop.TempDepth
+	if tempDepth > len(stop.TempKinds) {
+		tempDepth = len(stop.TempKinds)
+	}
+
+	// Fabricate a stopped frame: allocate the record and give every
+	// variable a distinguishable value in its home.
+	fp, err := n.alloc(uint32(tmpl.Size))
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	fi := frameInfo{lf: lf, fp: fp, stop: stop, tempDepth: tempDepth}
+	want := make([]uint32, 0, len(tmpl.Vars)+tempDepth)
+	for i, h := range tmpl.Vars {
+		w := uint32(10 + i)
+		if h.Kind == ir.VKReal {
+			w = n.Spec.Float.Enc(1.5 * float32(i+1))
+		}
+		if h.InReg {
+			fi.regs[h.Reg&0xf] = w
+		} else {
+			n.st32(fp+uint32(h.Off), w)
+		}
+		want = append(want, w)
+	}
+	for j := 0; j < tempDepth; j++ {
+		w := uint32(100 + j)
+		n.st32(fp+uint32(tmpl.TempOff)+uint32(4*j), w)
+		want = append(want, w)
+	}
+
+	peer := c.Nodes[1].Spec.ID
+	conv := c.converterFor(n, peer)
+	classAt := func(pl *convPlan, i int) slotClass {
+		if i < len(pl.vars) {
+			return pl.vars[i].class
+		}
+		return pl.tempClassAt(i - len(pl.vars))
+	}
+
+	// Warm: the first hop compiles and caches the plan.
+	act, shipped := n.marshalFrame(conv, peer, fi)
+	if int(act.Stop) != stop.Stop || len(shipped) != len(want) {
+		t.Fatalf("warm marshal: stop %d (%d values), want stop %d (%d values)",
+			act.Stop, len(shipped), stop.Stop, len(want))
+	}
+	pl := n.planFor(lf, uint16(stop.Stop), peer)
+
+	back := make([]uint32, len(want))
+	var m wire.MIActivation
+	got := testing.AllocsPerRun(100, func() {
+		a, vals := n.marshalFramePlanned(conv, fi, pl)
+		m = a
+		for i, v := range vals {
+			w, err := n.unwireClassValue(conv, classAt(pl, i), v, nil, 1)
+			if err != nil {
+				t.Fatalf("unwire %d: %v", i, err)
+			}
+			back[i] = w
+		}
+	})
+	if got > 1 {
+		t.Errorf("warm MD→MI→MD conversion allocates %.1f allocs/run, want <= 1", got)
+	}
+	// The roundtrip must reproduce the machine-dependent words exactly
+	// (same float format on both sides of MI for identical codecs, and
+	// identity for ints), so the alloc pin is not measuring a path that
+	// silently stopped converting.
+	if len(m.Vars) != len(tmpl.Vars) {
+		t.Fatalf("marshalled %d vars, template has %d", len(m.Vars), len(tmpl.Vars))
+	}
+	for i, w := range back {
+		if w != want[i] {
+			t.Errorf("roundtrip slot %d = %#x, want %#x", i, w, want[i])
+		}
+	}
+}

@@ -188,6 +188,48 @@ type Network struct {
 	// BusyMicros accumulates serialization time on the shared medium (the
 	// network's utilization clock).
 	BusyMicros Micros
+
+	// freeBufs recycles delivery buffers by power-of-two size class.
+	// Send copies each payload into a scratch buffer (senders may reuse
+	// their marshal buffer immediately), and deliver returns the scratch
+	// to the freelist after the handler runs — handlers fully consume the
+	// frame synchronously — so steady-state traffic does not allocate per
+	// frame. The simulation is single-goroutine; no locking needed.
+	freeBufs [bufNumClasses][][]byte
+}
+
+const (
+	bufMinClassBits = 6  // smallest delivery-buffer class: 64 B
+	bufNumClasses   = 10 // classes up to 32 KB; larger frames use the top class
+	bufClassKeep    = 32 // retained scratch buffers per class
+)
+
+// grabBuf returns a scratch buffer holding a copy of payload.
+func (n *Network) grabBuf(payload []byte) []byte {
+	c := 0
+	for c < bufNumClasses-1 && 1<<(bufMinClassBits+c) < len(payload) {
+		c++
+	}
+	if s := n.freeBufs[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		n.freeBufs[c] = s[:len(s)-1]
+		return append(b[:0], payload...)
+	}
+	return append(make([]byte, 0, 1<<(bufMinClassBits+c)), payload...)
+}
+
+// releaseBuf returns a delivery buffer to its size-class freelist.
+func (n *Network) releaseBuf(buf []byte) {
+	if cap(buf) < 1<<bufMinClassBits {
+		return
+	}
+	c := 0
+	for c < bufNumClasses-1 && cap(buf) >= 1<<(bufMinClassBits+c+1) {
+		c++
+	}
+	if len(n.freeBufs[c]) < bufClassKeep {
+		n.freeBufs[c] = append(n.freeBufs[c], buf)
+	}
 }
 
 // Verdict is a fault-injection decision for one frame in flight. The zero
@@ -293,7 +335,7 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 	if v.Drop {
 		n.Lost++
 	} else {
-		buf := append([]byte(nil), payload...)
+		buf := n.grabBuf(payload)
 		if v.Corrupt && len(buf) > 0 {
 			off := v.CorruptOff % len(buf)
 			if off < 0 {
@@ -305,7 +347,7 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 	}
 	if v.Dup {
 		n.Dups++
-		dup := append([]byte(nil), payload...)
+		dup := n.grabBuf(payload)
 		d := v.DupDelay
 		if d < 1 {
 			d = 1
@@ -316,7 +358,10 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 }
 
 // deliver schedules a frame's arrival; frames addressed to a node that is
-// down at the delivery instant vanish.
+// down at the delivery instant vanish. buf is a scratch buffer owned by
+// the network: it is recycled once the handler returns, so handlers must
+// not retain it (they copy whatever outlives the call — Unmarshal copies
+// strings, the chaos link layer copies held frames).
 func (n *Network) deliver(at Micros, src, dst int, h Handler, buf []byte) {
 	n.sim.At(at-n.sim.Now(), func() {
 		if n.down[dst] {
@@ -324,9 +369,11 @@ func (n *Network) deliver(at Micros, src, dst int, h Handler, buf []byte) {
 			if n.OnLost != nil {
 				n.OnLost(n.sim.Now(), src, dst)
 			}
+			n.releaseBuf(buf)
 			return
 		}
 		h(src, buf)
+		n.releaseBuf(buf)
 	})
 }
 

@@ -1,0 +1,78 @@
+package wire
+
+import "testing"
+
+// allocTestMsg mirrors the representative Move message from
+// BenchmarkWireMoveRoundtrip: the enhanced system's biggest wire
+// structure, with values of every kind.
+func allocTestMsg() *Msg {
+	return &Msg{Src: 0, Dst: 1, Seq: 42, Payload: &Move{
+		Object: 100, CodeOID: 2,
+		Data: []Value{IntV(1), RefV(7), StringV([]byte("payload")), RealBitsV(0x40490fdb)},
+		Frags: []Fragment{{
+			FragID: 9, LinkNode: 0, LinkFrag: 3, Executing: true,
+			Acts: []MIActivation{{
+				CodeOID: 2, FuncIndex: 1, Stop: 4,
+				Vars: []Value{IntV(1), IntV(2), RealBitsV(0x3f800000),
+					IntV(4), StringV([]byte("thirteen")), IntV(6), IntV(7),
+					RealBitsV(0x41000000), IntV(9), IntV(10), IntV(11),
+					IntV(12), IntV(13)},
+				Temps: []Value{IntV(5)},
+			}},
+		}},
+	}}
+}
+
+// Marshalling into a caller-held Enc must not allocate at all once the
+// Enc's buffer has grown to the message size: this is the kernel's send
+// path (sendMsgAck pairs GetEnc with MarshalTo).
+func TestMarshalToAllocs(t *testing.T) {
+	msg := allocTestMsg()
+	e := GetEnc(256)
+	defer e.Release()
+	msg.MarshalTo(e) // warm: grow the buffer once
+	got := testing.AllocsPerRun(100, func() {
+		if len(msg.MarshalTo(e)) == 0 {
+			t.Fatal("empty marshal")
+		}
+	})
+	if got != 0 {
+		t.Errorf("MarshalTo allocates %.1f allocs/run, want 0", got)
+	}
+}
+
+// Marshal copies the encoding out of a pooled Enc, so its one permitted
+// allocation is the returned buffer itself.
+func TestMarshalAllocs(t *testing.T) {
+	msg := allocTestMsg()
+	msg.Marshal() // warm the Enc pool
+	got := testing.AllocsPerRun(100, func() {
+		if len(msg.Marshal()) == 0 {
+			t.Fatal("empty marshal")
+		}
+	})
+	// One alloc for the returned copy; allow one more for a pool miss
+	// (sync.Pool may be drained by a concurrent GC).
+	if got > 2 {
+		t.Errorf("Marshal allocates %.1f allocs/run, want <= 2", got)
+	}
+}
+
+// Full marshal + unmarshal of the representative Move. The decode side
+// shares one Value arena across all value lists of the message, so the
+// whole roundtrip is pinned at 8 allocations (1 marshal copy, 7 decode:
+// Msg, payload, arena, frags, acts, and two var/temp headers).
+func TestRoundtripAllocs(t *testing.T) {
+	msg := allocTestMsg()
+	got := testing.AllocsPerRun(100, func() {
+		buf := msg.Marshal()
+		if _, err := Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured: 8. Allow one pool-miss of headroom, but fail loudly if
+	// the zero-alloc work regresses toward the old 17.
+	if got > 9 {
+		t.Errorf("Marshal+Unmarshal allocates %.1f allocs/run, want <= 9", got)
+	}
+}

@@ -64,6 +64,9 @@ type Dec struct {
 	buf []byte
 	off int
 	err error
+	// vals is the shared backing arena for every Values list decoded from
+	// this buffer (see Values).
+	vals []Value
 }
 
 // NewDec returns a decoder over buf.
@@ -165,20 +168,34 @@ const (
 )
 
 // Values reads a counted list of values (nil for an empty list, matching
-// the zero value of the encoding side).
+// the zero value of the encoding side). All lists decoded from one Dec
+// share a single backing arena — a Move's Data, Vars and Temps cost one
+// allocation together instead of one each. The returned slices have
+// clamped capacity, so appending to one cannot clobber another.
 func (d *Dec) Values() []Value {
 	n := d.Count(minValueBytes)
 	if n == 0 {
 		return nil
 	}
-	vs := make([]Value, 0, n)
+	if d.vals == nil {
+		// Size the arena for every list in the message: remaining bytes
+		// bound the total value count (Count enforces the same bound per
+		// list). The n*4+8 cap keeps a short list with a long string tail
+		// from over-allocating.
+		c := (len(d.buf) - d.off) / minValueBytes
+		if c > n*4+8 {
+			c = n*4 + 8
+		}
+		d.vals = make([]Value, 0, c)
+	}
+	start := len(d.vals)
 	for i := 0; i < n; i++ {
-		vs = append(vs, d.Value())
+		d.vals = append(d.vals, d.Value())
 		if d.err != nil {
 			return nil
 		}
 	}
-	return vs
+	return d.vals[start:len(d.vals):len(d.vals)]
 }
 
 // ---------------------------------------------------------------- payloads
@@ -237,9 +254,13 @@ type Msg struct {
 	Payload  Payload
 }
 
-// Marshal serializes the message to wire bytes.
-func (m *Msg) Marshal() []byte {
-	e := &Enc{}
+// MarshalTo serializes the message into e (resetting it first) and
+// returns the encoded bytes. The bytes alias e's buffer: they are valid
+// only until e is next used or Released. Callers that hand the bytes to
+// a consumer that copies them (netsim.Network.Send does) avoid any
+// allocation.
+func (m *Msg) MarshalTo(e *Enc) []byte {
+	e.buf = e.buf[:0]
 	e.U8(byte(m.Payload.Kind()))
 	e.I32(m.Src)
 	e.I32(m.Dst)
@@ -248,34 +269,64 @@ func (m *Msg) Marshal() []byte {
 	return e.Bytes()
 }
 
-// Unmarshal parses a message.
+// Marshal serializes the message to wire bytes the caller owns.
+func (m *Msg) Marshal() []byte {
+	e := GetEnc(256)
+	b := m.MarshalTo(e)
+	out := make([]byte, len(b))
+	copy(out, b)
+	e.Release()
+	return out
+}
+
+// Unmarshal parses a message. The payload unmarshal calls are concrete
+// (not through the Payload interface) so the decoder does not escape to
+// the heap — the hot receive path allocates only the message, payload
+// and their lists.
 func Unmarshal(buf []byte) (*Msg, error) {
-	d := NewDec(buf)
+	d := Dec{buf: buf}
 	k := MsgKind(d.U8())
 	m := &Msg{Src: d.I32(), Dst: d.I32(), Seq: d.U32()}
 	switch k {
 	case MInvoke:
-		m.Payload = &Invoke{}
+		p := &Invoke{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MReturn:
-		m.Payload = &Return{}
+		p := &Return{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MMoveReq:
-		m.Payload = &MoveReq{}
+		p := &MoveReq{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MMove:
-		m.Payload = &Move{}
+		p := &Move{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MLocate:
-		m.Payload = &Locate{}
+		p := &Locate{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MLocateReply:
-		m.Payload = &LocateReply{}
+		p := &LocateReply{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MUpdateLoc:
-		m.Payload = &UpdateLoc{}
+		p := &UpdateLoc{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MUnfixReq:
-		m.Payload = &UnfixReq{}
+		p := &UnfixReq{}
+		p.unmarshal(&d)
+		m.Payload = p
 	case MMoveAck:
-		m.Payload = &MoveAck{}
+		p := &MoveAck{}
+		p.unmarshal(&d)
+		m.Payload = p
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", k)
 	}
-	m.Payload.unmarshal(d)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
