@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke fuzz-smoke bench-baselines
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke fuzz-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,21 @@ chaos-smoke:
 	$(GO) run ./cmd/emrun -chaos 'seed=7,drop=0.05,dup=0.03,delay=0.05:500us,corrupt=0.02,crash=2@76ms:156ms' \
 		examples/programs/kilroy.em > .ci/kilroy_chaos.out
 	cmp .ci/kilroy_clean.out .ci/kilroy_chaos.out
+
+# Every example program must print identical output under the sequential
+# and parallel engines, with the parallel driver under the race detector;
+# the in-package differential (also -race) additionally compares event
+# logs, metrics, spans, cycle/instruction counts and memory images across
+# every ISA and the Figure 1 network, and checks for leaked goroutines.
+par-smoke:
+	mkdir -p .ci
+	set -e; for p in examples/programs/*.em; do \
+		name=$$(basename $$p .em); \
+		$(GO) run ./cmd/emrun $$p > .ci/$$name.seq.out; \
+		$(GO) run -race ./cmd/emrun -parallel $$p > .ci/$$name.par.out; \
+		cmp .ci/$$name.seq.out .ci/$$name.par.out; \
+	done
+	$(GO) test -race ./internal/core -run TestParallelDifferential
 
 # The wire decoder fuzz seeds (bounds-checked frame/message parsing) must
 # hold; full fuzzing runs separately with -fuzz.

@@ -73,6 +73,7 @@ var subcommands = []struct {
 	{"intranode", intraNode},
 	{"conv", conv},
 	{"ablations", ablations},
+	{"par", par},
 }
 
 func usage() {
@@ -202,6 +203,24 @@ func intraNode(string) error {
 			r.Arch, r.LocalMS, r.MigratedMS, r.OriginalSysMS, r.EnhancedMatches)
 	}
 	fmt.Println("migrated threads run at native speed, identical to the original system")
+	return nil
+}
+
+// par measures sequential-vs-parallel wall-clock over N-node rings.
+// BENCH_par.json records wall-clock times and the host CPU count, so it is
+// deliberately not baseline-compared (wall-clock is host-dependent; the
+// byte-identity of the two engines is checked inside the experiment).
+func par(outDir string) error {
+	rs, err := exp.ParScaling([]int{1, 2, 4, 8}, 6, 30000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatParScaling(rs))
+	path, err := exp.WriteBenchJSON(outDir, "par", exp.BenchParDoc(rs))
+	if err != nil {
+		return err
+	}
+	wrote(path)
 	return nil
 }
 

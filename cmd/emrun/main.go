@@ -4,7 +4,7 @@
 // Usage:
 //
 //	emrun [-net spec] [-mode enhanced|original|batched|fastpath]
-//	      [-chaos plan] [-trace] [-stats] file.em
+//	      [-chaos plan] [-parallel] [-trace] [-stats] file.em
 //
 // The network spec is a comma-separated list of machine models, e.g.
 // "sparc,vax,sun3,hp1,hp2" (default: the paper's Figure 1 network
@@ -26,10 +26,11 @@ func main() {
 	trace := flag.Bool("trace", false, "print kernel event trace")
 	stats := flag.Bool("stats", false, "print per-node statistics")
 	vetLoad := flag.Bool("vetload", false, "nodes vet each code object's mobility metadata before loading it")
+	parallel := flag.Bool("parallel", false, "run each node on its own goroutine (identical results; see DESIGN.md §12)")
 	chaosSpec := flag.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05,dup=0.02,crash=1@20000:50000 (see internal/chaos)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-trace] [-stats] [-vetload] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-trace] [-stats] [-vetload] file.em")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -47,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(2)
 	}
-	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad}
+	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)
 		if err != nil {

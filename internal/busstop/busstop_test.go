@@ -242,3 +242,82 @@ func TestQuickBijection(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSearchPCBoundaries pins the binary search's edge behavior directly:
+// searchPC returns the smallest index with pcs[j] >= pc. Stop PCs in
+// mkStops are 10, 25, 31, 40 (ascending after index construction).
+func TestSearchPCBoundaries(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		pc   uint32
+		want int
+	}{
+		{0, 0},          // far below the first stop
+		{9, 0},          // just below the first stop
+		{10, 0},         // exactly the first stop
+		{11, 1},         // between stops 10 and 25
+		{25, 1},         // exact interior hit
+		{26, 2},         // between stops 25 and 31
+		{40, 3},         // exactly the last stop
+		{41, 4},         // just past the last stop
+		{^uint32(0), 4}, // far past the last stop
+	} {
+		if got := tbl.searchPC(tc.pc); got != tc.want {
+			t.Errorf("searchPC(%d) = %d, want %d", tc.pc, got, tc.want)
+		}
+	}
+	empty, err := NewTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.searchPC(10); got != 0 {
+		t.Errorf("empty table searchPC = %d, want 0", got)
+	}
+}
+
+// TestByPCBoundaries walks ByPC and ByPCAny across every boundary class: a
+// PC below the first stop, past the last, strictly between two stops, and
+// the exit-only stop (PC 31 in mkStops).
+func TestByPCBoundaries(t *testing.T) {
+	tbl, err := NewTable(mkStops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []uint32{0, 9, 11, 26, 39, 41, ^uint32(0)} {
+		if _, err := tbl.ByPC(pc); err == nil {
+			t.Errorf("ByPC(%d) resolved a non-stop PC", pc)
+		}
+		if _, err := tbl.ByPCAny(pc); err == nil {
+			t.Errorf("ByPCAny(%d) resolved a non-stop PC", pc)
+		}
+	}
+	// First and last stops resolve by exact PC.
+	if s, err := tbl.ByPC(10); err != nil || s.Stop != 0 {
+		t.Errorf("ByPC(10) = %+v, %v", s, err)
+	}
+	if s, err := tbl.ByPC(40); err != nil || s.Stop != 3 {
+		t.Errorf("ByPC(40) = %+v, %v", s, err)
+	}
+	// The exit-only stop: ByPC refuses (local traps never produce its PC),
+	// ByPCAny resolves it (migrated-in threads park there).
+	if _, err := tbl.ByPC(31); err == nil {
+		t.Error("ByPC(31) accepted an exit-only stop")
+	}
+	if s, err := tbl.ByPCAny(31); err != nil || s.Stop != 2 || !s.ExitOnly {
+		t.Errorf("ByPCAny(31) = %+v, %v", s, err)
+	}
+	// Empty table: every lookup misses, none panic.
+	empty, err := NewTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.ByPC(0); err == nil {
+		t.Error("empty table ByPC(0) resolved")
+	}
+	if _, err := empty.ByPCAny(0); err == nil {
+		t.Error("empty table ByPCAny(0) resolved")
+	}
+}

@@ -1,10 +1,20 @@
 // The frame-layer injector: implements netsim.Injector, drawing every
 // decision from the plan's seeded PRNG and emitting an obs event plus a
 // metric for each injected fault so recovery is visible in the trace.
-
+//
+// Randomness is partitioned per (src,dst) link: each link gets its own
+// splitmix64 stream derived from the plan seed, so a frame's verdict is a
+// pure function of (plan, link, that link's frame index). That makes
+// verdicts independent of how frames from different senders interleave —
+// required for the parallel engine, where each sending node draws its own
+// links' verdicts on its own goroutine, and the interleaving across nodes
+// is not deterministic (only the per-link frame order is).
 package chaos
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/netsim"
 	"repro/internal/obs"
 )
@@ -23,28 +33,78 @@ func (r *rng) next() uint64 {
 // float returns a uniform float64 in [0,1).
 func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
 
-// Injector implements netsim.Injector for a Plan. It is driven entirely by
-// the deterministic frame sequence, so the same plan on the same run
-// produces the same verdicts.
+// mix folds a link identity into the plan seed (one splitmix64 round over
+// the combined bits, so nearby links get uncorrelated streams).
+func mix(seed uint64, src, dst int) uint64 {
+	r := rng{state: seed ^ (uint64(src+1) << 32) ^ uint64(dst+1)}
+	return r.next()
+}
+
+// Fault kinds, in the order they are counted.
+var faultKinds = []string{"drop", "dup", "delay", "corrupt", "partition"}
+
+const (
+	kindDrop = iota
+	kindDup
+	kindDelay
+	kindCorrupt
+	kindPartition
+	numKinds
+)
+
+// Injector implements netsim.Injector for a Plan. Verdicts are drawn from
+// per-link streams, so they are identical under the sequential and
+// parallel engines. Frame may be called concurrently for different links
+// (never concurrently for one link — a link's frames are sent by one
+// node's goroutine).
 type Injector struct {
 	plan *Plan
-	rng  rng
 	rec  *obs.Recorder // may be nil (unit tests)
 
-	// Injected counts verdicts by kind (drop, dup, delay, corrupt,
-	// partition), independent of the recorder.
-	Injected map[string]uint64
+	mu      sync.Mutex
+	streams map[linkKey]*rng
+
+	injected [numKinds]uint64 // atomic
 }
+
+type linkKey struct{ src, dst int }
 
 // NewInjector returns an injector for plan, reporting into rec (which may
 // be nil).
 func NewInjector(plan *Plan, rec *obs.Recorder) *Injector {
 	return &Injector{
-		plan:     plan,
-		rng:      rng{state: plan.Seed},
-		rec:      rec,
-		Injected: map[string]uint64{},
+		plan:    plan,
+		rec:     rec,
+		streams: map[linkKey]*rng{},
 	}
+}
+
+// stream returns the (src,dst) link's PRNG stream, creating it on first
+// use. The map is guarded for the parallel engine (different sending nodes
+// may fault different links at once); the stream itself is only ever
+// advanced by the link's sending node.
+func (in *Injector) stream(src, dst int) *rng {
+	k := linkKey{src, dst}
+	in.mu.Lock()
+	s := in.streams[k]
+	if s == nil {
+		s = &rng{state: mix(in.plan.Seed, src, dst)}
+		in.streams[k] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// Injected returns the verdict counts by kind (drop, dup, delay, corrupt,
+// partition).
+func (in *Injector) Injected() map[string]uint64 {
+	out := map[string]uint64{}
+	for i, k := range faultKinds {
+		if v := atomic.LoadUint64(&in.injected[i]); v > 0 {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // Frame implements netsim.Injector.
@@ -53,31 +113,32 @@ func (in *Injector) Frame(at netsim.Micros, src, dst, payloadLen int) netsim.Ver
 	p := in.plan
 	if in.partitioned(at, src, dst) {
 		v.Drop = true
-		in.note(at, src, dst, "partition")
+		in.note(at, src, dst, kindPartition)
 		return v
 	}
 	// One draw per fault class per frame, in a fixed order, so the
-	// consumption pattern is a pure function of the frame sequence.
-	if in.rng.float() < p.Drop {
+	// consumption pattern is a pure function of the link's frame sequence.
+	rs := in.stream(src, dst)
+	if rs.float() < p.Drop {
 		v.Drop = true
-		in.note(at, src, dst, "drop")
+		in.note(at, src, dst, kindDrop)
 	}
-	if in.rng.float() < p.Dup {
+	if rs.float() < p.Dup {
 		v.Dup = true
-		v.DupDelay = 1 + netsim.Micros(in.rng.next()%64)
-		in.note(at, src, dst, "dup")
+		v.DupDelay = 1 + netsim.Micros(rs.next()%64)
+		in.note(at, src, dst, kindDup)
 	}
-	if in.rng.float() < p.Delay {
-		v.ExtraDelay = 1 + netsim.Micros(in.rng.next()%uint64(p.DelayBound()))
-		in.note(at, src, dst, "delay")
+	if rs.float() < p.Delay {
+		v.ExtraDelay = 1 + netsim.Micros(rs.next()%uint64(p.DelayBound()))
+		in.note(at, src, dst, kindDelay)
 	}
-	if in.rng.float() < p.Corrupt {
+	if rs.float() < p.Corrupt {
 		v.Corrupt = true
 		if payloadLen > 0 {
-			v.CorruptOff = int(in.rng.next() % uint64(payloadLen))
+			v.CorruptOff = int(rs.next() % uint64(payloadLen))
 		}
-		v.CorruptXor = byte(1 + in.rng.next()%255)
-		in.note(at, src, dst, "corrupt")
+		v.CorruptXor = byte(1 + rs.next()%255)
+		in.note(at, src, dst, kindCorrupt)
 	}
 	return v
 }
@@ -93,12 +154,12 @@ func (in *Injector) partitioned(at netsim.Micros, src, dst int) bool {
 	return false
 }
 
-func (in *Injector) note(at netsim.Micros, src, dst int, kind string) {
-	in.Injected[kind]++
+func (in *Injector) note(at netsim.Micros, src, dst int, kind int) {
+	atomic.AddUint64(&in.injected[kind], 1)
 	if in.rec == nil {
 		return
 	}
 	in.rec.Emit(obs.Event{At: int64(at), Node: int32(src), Kind: obs.EvFaultInject,
-		B: uint64(dst), Str: kind})
-	in.rec.Metrics().Add("chaos_injected", "kind="+kind, 1)
+		B: uint64(dst), Str: faultKinds[kind]})
+	in.rec.Metrics().Add("chaos_injected", "kind="+faultKinds[kind], 1)
 }

@@ -116,7 +116,7 @@ func TestInjectorDeterministic(t *testing.T) {
 	in := NewInjector(plan, nil)
 	verdicts(in)
 	for _, kind := range []string{"drop", "dup", "delay", "corrupt"} {
-		if in.Injected[kind] == 0 {
+		if in.Injected()[kind] == 0 {
 			t.Errorf("no %s faults injected across 64 frames at p=0.2", kind)
 		}
 	}
@@ -136,5 +136,34 @@ func TestInjectorPartition(t *testing.T) {
 	}
 	if v := in.Frame(150, 1, 2, 10); v.Drop {
 		t.Error("partition leaked onto an uninvolved link")
+	}
+}
+
+// TestInjectorPerLinkStreams: a link's verdict sequence is a function of
+// the plan seed and that link's own frame count only. Frames on other
+// links interleaved arbitrarily between them must not perturb it — the
+// property the parallel engine needs, since under it the global
+// interleaving of Frame calls across links is schedule-dependent.
+func TestInjectorPerLinkStreams(t *testing.T) {
+	plan := &Plan{Seed: 7, Drop: 0.2, Dup: 0.2, Delay: 0.2, Corrupt: 0.2}
+
+	alone := NewInjector(plan, nil)
+	var want []netsim.Verdict
+	for i := 0; i < 32; i++ {
+		want = append(want, alone.Frame(netsim.Micros(i*100), 0, 1, 64+i))
+	}
+
+	mixed := NewInjector(plan, nil)
+	var got []netsim.Verdict
+	for i := 0; i < 32; i++ {
+		// Interleave traffic on three other links, including the reverse
+		// direction of the link under test.
+		mixed.Frame(netsim.Micros(i*100), 1, 0, 32)
+		mixed.Frame(netsim.Micros(i*100+1), 2, 3, 48)
+		got = append(got, mixed.Frame(netsim.Micros(i*100), 0, 1, 64+i))
+		mixed.Frame(netsim.Micros(i*100+2), 3, 0, 16)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("interleaved traffic on other links perturbed a link's verdict stream")
 	}
 }

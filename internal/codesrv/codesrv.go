@@ -9,6 +9,7 @@ package codesrv
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
@@ -21,7 +22,8 @@ type Server struct {
 	byOID map[oid.OID]*codegen.ObjectCode
 	// FetchLatency simulates the NFS read for a cold fetch.
 	FetchLatency netsim.Micros
-	fetches      uint64
+	// fetches is atomic: nodes fetch concurrently under the parallel engine.
+	fetches uint64
 }
 
 // New builds a repository holding every code object of the program, for
@@ -41,7 +43,7 @@ func (s *Server) Fetch(code oid.OID, id arch.ID) (*codegen.ObjectCode, *codegen.
 	oc, ok := s.byOID[code]
 	if ok {
 		if ac := oc.PerArch[id]; ac != nil {
-			s.fetches++
+			atomic.AddUint64(&s.fetches, 1)
 			return oc, ac, s.FetchLatency, nil
 		}
 	}
@@ -49,4 +51,4 @@ func (s *Server) Fetch(code oid.OID, id arch.ID) (*codegen.ObjectCode, *codegen.
 }
 
 // Fetches reports how many cold fetches were served.
-func (s *Server) Fetches() uint64 { return s.fetches }
+func (s *Server) Fetches() uint64 { return atomic.LoadUint64(&s.fetches) }

@@ -104,6 +104,11 @@ type Options struct {
 	// link partitions) and switches the kernel's migration protocol to
 	// its crash-tolerant mode (see internal/chaos and DESIGN.md §10).
 	Chaos *chaos.Plan
+	// Parallel runs each node's events on its own goroutine, using the
+	// network's minimum link latency as conservative lookahead. Observable
+	// results (printed output, faults, events, spans, metrics, simulated
+	// time) are identical to the sequential engine; see DESIGN.md §12.
+	Parallel bool
 }
 
 // System is a compiled program loaded on a simulated network.
@@ -171,6 +176,13 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg := kernel.DefaultConfig()
 	cfg.Mode = opts.Mode
 	cfg.Trace = opts.Trace
+	if opts.Parallel {
+		// The text sink is a plain callback with no locking; under the
+		// parallel engine events are emitted from node goroutines, so the
+		// sink is deferred: Run replays the merged event stream after the
+		// run instead of rendering lines as they happen.
+		cfg.Trace = nil
+	}
 	cfg.VetOnLoad = opts.VetOnLoad
 	cfg.LegacyDispatch = opts.LegacyDispatch
 	cfg.Chaos = opts.Chaos
@@ -188,7 +200,20 @@ func (s *System) Run() error {
 	if limit == 0 {
 		limit = 50_000_000
 	}
-	if err := s.Cluster.Run(limit); err != nil {
+	var err error
+	if s.opts.Parallel {
+		err = s.Cluster.RunParallel(limit)
+		if s.opts.Trace != nil {
+			// Deferred text sink: replay the canonically merged event
+			// stream in the exact format the live sink renders.
+			for _, e := range s.Cluster.Rec.Events() {
+				s.opts.Trace(fmt.Sprintf("[%8dµs] %s", e.At, e.Text()))
+			}
+		}
+	} else {
+		err = s.Cluster.Run(limit)
+	}
+	if err != nil {
 		return err
 	}
 	if len(s.Cluster.Faults) > 0 {

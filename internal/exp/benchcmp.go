@@ -88,14 +88,8 @@ func cmpBenchValue(path string, fresh, base any, tol float64, drifts *[]string) 
 			*drifts = append(*drifts, fmt.Sprintf("%s: expected number, got %T", path, fresh))
 			return
 		}
-		if f == b {
-			return
-		}
-		// Relative drift against the baseline magnitude; a baseline of
-		// exactly 0 admits no drift at all (there is no scale to be 20%
-		// of).
-		if b == 0 || math.Abs(f-b)/math.Abs(b) > tol {
-			*drifts = append(*drifts, fmt.Sprintf("%s: %v, baseline %v", path, f, b))
+		if msg := numericDrift(f, b, tol); msg != "" {
+			*drifts = append(*drifts, path+": "+msg)
 		}
 	default:
 		// Strings, bools, nulls: identity or structural failure.
@@ -103,4 +97,22 @@ func cmpBenchValue(path string, fresh, base any, tol float64, drifts *[]string) 
 			*drifts = append(*drifts, fmt.Sprintf("%s: %v, baseline %v", path, fresh, base))
 		}
 	}
+}
+
+// numericDrift decides whether a fresh value drifted from its baseline,
+// returning an empty string when it is within tolerance and a description
+// otherwise. A baseline of exactly 0 has no magnitude to take a relative
+// drift against (the naive ratio is Inf, or NaN for 0/0), so it is handled
+// by identity: equal is fine, any nonzero fresh value is drift.
+func numericDrift(fresh, base, tol float64) string {
+	if fresh == base {
+		return ""
+	}
+	if base == 0 {
+		return fmt.Sprintf("%v, baseline 0 (zero baseline admits no drift)", fresh)
+	}
+	if math.Abs(fresh-base)/math.Abs(base) > tol {
+		return fmt.Sprintf("%v, baseline %v", fresh, base)
+	}
+	return ""
 }

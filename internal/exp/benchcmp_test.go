@@ -64,3 +64,53 @@ func TestCompareBenchJSONZeroBaseline(t *testing.T) {
 		t.Error("nonzero against zero baseline not flagged")
 	}
 }
+
+func TestNumericDrift(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		fresh, base float64
+		tol         float64
+		drift       bool
+	}{
+		{"zero/zero", 0, 0, 0.20, false},
+		{"nonzero/zero", 0.1, 0, 0.20, true},
+		{"negative nonzero/zero", -0.1, 0, 0.20, true},
+		{"zero/nonzero beyond tol", 0, 100, 0.20, true},
+		{"equal", 42, 42, 0.20, false},
+		{"within tolerance", 115, 100, 0.20, false},
+		{"at boundary", 120, 100, 0.20, false},
+		{"beyond tolerance", 130, 100, 0.20, true},
+		{"negative baseline within", -110, -100, 0.20, false},
+		{"negative baseline beyond", -130, -100, 0.20, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := numericDrift(tc.fresh, tc.base, tc.tol)
+			if got := msg != ""; got != tc.drift {
+				t.Errorf("numericDrift(%v, %v, %v) = %q, want drift=%v",
+					tc.fresh, tc.base, tc.tol, msg, tc.drift)
+			}
+			// The rendered message must never leak the raw Inf/NaN ratio a
+			// naive zero-baseline division would produce.
+			for _, bad := range []string{"Inf", "NaN"} {
+				if strings.Contains(msg, bad) {
+					t.Errorf("drift message contains %s: %q", bad, msg)
+				}
+			}
+		})
+	}
+}
+
+func TestCompareBenchJSONZeroBaselineMessage(t *testing.T) {
+	err := CompareBenchJSON([]byte(`{"ms":5}`), []byte(`{"ms":0}`), 0.20)
+	if err == nil {
+		t.Fatal("nonzero against zero baseline not flagged")
+	}
+	if !strings.Contains(err.Error(), "zero baseline") {
+		t.Errorf("error does not explain the zero-baseline rule: %v", err)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(err.Error(), bad) {
+			t.Errorf("error leaks %s: %v", bad, err)
+		}
+	}
+}

@@ -306,3 +306,33 @@ func TestValidateMoveRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosAggressiveDupSmoke is the pooled-buffer-lifetime regression
+// test: with every other frame duplicated (plus corruption to force CRC
+// retransmissions) many primary/duplicate pairs are in flight through the
+// delivery-buffer pool at once. If a duplicate ever aliased its primary's
+// pooled buffer, the first delivery's release would recycle bytes still in
+// flight and the tour would decode garbage. Run under -race (make ci) this
+// also checks the buffer paths for data races.
+func TestChaosAggressiveDupSmoke(t *testing.T) {
+	src := kilroySrc(t)
+	models := []netsim.MachineModel{mSun3, mHP1, mSPARC, mVAX}
+	base := runSrc(t, src, models, DefaultConfig())
+
+	plan := func() *chaos.Plan {
+		return &chaos.Plan{Seed: 11, Dup: 0.5, Corrupt: 0.05}
+	}
+	c1 := runSrc(t, src, models, chaosConfig(plan()))
+	if got := c1.OutputText(); got != base.OutputText() {
+		t.Fatalf("aggressive-dup run output differs from fault-free run:\nfault-free:\n%s\nchaos:\n%s",
+			base.OutputText(), got)
+	}
+	assertExactlyOnceInstalls(t, c1)
+	if dups := c1.Net.Dups; dups < 10 {
+		t.Errorf("only %d duplicates injected; smoke is not aggressive", dups)
+	}
+	c2 := runSrc(t, src, models, chaosConfig(plan()))
+	if !bytes.Equal(obs.EventLog(c1.Rec), obs.EventLog(c2.Rec)) {
+		t.Error("same seed produced different event logs under aggressive duplication")
+	}
+}

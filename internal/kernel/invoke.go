@@ -352,7 +352,7 @@ func (n *Node) recvReturn(src int, p *wire.Return) {
 			n.sendMsg(dest, p)
 			return
 		}
-		n.cluster.trace("node%d: return for unknown frag %08x dropped", n.ID, p.CallerFrag)
+		n.tracef("node%d: return for unknown frag %08x dropped", n.ID, p.CallerFrag)
 		return
 	}
 	if !p.Ok {
@@ -415,7 +415,7 @@ func (n *Node) recvLocate(src int, p *wire.Locate) {
 func (n *Node) recvMoveReq(src int, p *wire.MoveReq) {
 	target, ok := n.objects[p.Target]
 	if !ok {
-		n.cluster.trace("node%d: movereq for unknown %v dropped", n.ID, p.Target)
+		n.tracef("node%d: movereq for unknown %v dropped", n.ID, p.Target)
 		return
 	}
 	if n.forwardIfMoved(src, target, p) {

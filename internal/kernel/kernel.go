@@ -186,7 +186,11 @@ type Cluster struct {
 
 	Output []OutputLine
 	Faults []Fault
-	seq    uint32
+
+	// parallel is set while RunParallel drives the cluster: printed lines
+	// and faults shard into per-node logs (merged afterwards) instead of
+	// appending to the shared slices above.
+	parallel bool
 }
 
 // NewCluster builds a cluster of the given machine models. In ModeOriginal
@@ -243,9 +247,9 @@ func (c *Cluster) armChaos(plan *chaos.Plan) error {
 		if cr.Node < 0 || cr.Node >= len(c.Nodes) {
 			return fmt.Errorf("kernel: chaos plan crashes node %d; cluster has %d nodes", cr.Node, len(c.Nodes))
 		}
-		c.Sim.AtWeak(cr.At, func() { c.Nodes[cr.Node].crash() })
+		c.Sim.AtNodeWeak(cr.Node, cr.At, func() { c.Nodes[cr.Node].crash() })
 		if cr.RestartAt > 0 {
-			c.Sim.AtWeak(cr.RestartAt, func() { c.Nodes[cr.Node].restart() })
+			c.Sim.AtNodeWeak(cr.Node, cr.RestartAt, func() { c.Nodes[cr.Node].restart() })
 		}
 	}
 	for _, p := range plan.Partitions {
@@ -255,7 +259,7 @@ func (c *Cluster) armChaos(plan *chaos.Plan) error {
 	}
 	for _, n := range c.Nodes {
 		n := n
-		c.Sim.AtWeak(plan.HeartbeatPeriod(), n.heartbeatTick)
+		c.Sim.AtNodeWeak(n.ID, plan.HeartbeatPeriod(), n.heartbeatTick)
 	}
 	return nil
 }
@@ -307,12 +311,38 @@ func (c *Cluster) StartRoots(roots []string, placement func(objName string, root
 		}
 		n := c.Nodes[nodeID]
 		name := name
-		c.Sim.At(0, func() { n.bootstrap(name) })
+		c.Sim.AtNode(nodeID, 0, func() { n.bootstrap(name) })
 	}
 }
 
 // Run drives the simulation to completion (or the event budget).
 func (c *Cluster) Run(maxEvents uint64) error { return c.Sim.Run(maxEvents) }
+
+// RunParallel drives the simulation with one goroutine per node, using the
+// network's minimum link latency as conservative lookahead. Observable
+// results — printed lines, faults, events, spans, metrics, per-node
+// counters — are identical to Run; see DESIGN.md §12 for the argument.
+func (c *Cluster) RunParallel(maxEvents uint64) error {
+	c.parallel = true
+	err := c.Sim.RunParallel(c.Net, len(c.Nodes), maxEvents)
+	c.parallel = false
+	c.mergeShards()
+	return err
+}
+
+// mergeShards folds the per-node output and fault shards accumulated during
+// a parallel run into the shared cluster slices, in the canonical order the
+// sequential engine produces: (At, Node, per-node emission order). A stable
+// sort by At over the node-ordered concatenation yields exactly that.
+func (c *Cluster) mergeShards() {
+	for _, n := range c.Nodes {
+		c.Output = append(c.Output, n.out...)
+		c.Faults = append(c.Faults, n.faultLog...)
+		n.out, n.faultLog = nil, nil
+	}
+	sort.SliceStable(c.Output, func(i, j int) bool { return c.Output[i].At < c.Output[j].At })
+	sort.SliceStable(c.Faults, func(i, j int) bool { return c.Faults[i].At < c.Faults[j].At })
+}
 
 // PrintedLines returns all output text in order.
 func (c *Cluster) PrintedLines() []string {
@@ -400,12 +430,6 @@ func (c *Cluster) MetricsSnapshot() obs.Snapshot {
 	reg.SetGauge("net_wire_bytes", "", int64(nc.Bytes))
 	reg.SetGauge("net_busy_micros", "", int64(nc.BusyMicros))
 	return reg.Snapshot(int64(c.Sim.Now()))
-}
-
-// nextSeq mints a protocol sequence number.
-func (c *Cluster) nextSeq() uint32 {
-	c.seq++
-	return c.seq
 }
 
 // ---------------------------------------------------------------- objects

@@ -189,7 +189,7 @@ func (n *Node) moveObject(o *Obj, dest int, fix bool) {
 		return
 	}
 	if o.Fixed {
-		n.cluster.trace("node%d: move of fixed %v refused", n.ID, o.OID)
+		n.tracef("node%d: move of fixed %v refused", n.ID, o.OID)
 		return
 	}
 	if n.chaosOn() {

@@ -120,6 +120,25 @@ type Node struct {
 	batchConv *wire.BatchedConverter
 	rawConv   *wire.RawConverter
 
+	// sched is this node's scheduling handle: clock and timers routed to
+	// the node's own event queue under the parallel engine, and to the
+	// shared heap (tagged with the node) under the sequential one. All
+	// kernel timer/clock access goes through it so both engines see the
+	// same per-node timeline.
+	sched netsim.NodeSched
+	// msgSeq numbers this node's outbound protocol messages. Per-node
+	// (src, seq) pairs stay unique cluster-wide, and a node-local counter
+	// is computable without cross-node coordination — the wire encoding is
+	// fixed-width, so the numbering scheme does not affect sizes or
+	// timings.
+	msgSeq uint32
+	// out and faultLog shard printed lines and runtime faults per node
+	// during a parallel run; Cluster.mergeShards folds them into
+	// Cluster.Output/Faults in canonical order after the run. Sequential
+	// runs append to the cluster slices directly.
+	out      []OutputLine
+	faultLog []Fault
+
 	// Stats.
 	MsgsSent, MsgsRecv uint64
 	Instrs             uint64
@@ -163,14 +182,21 @@ func newNode(c *Cluster, id int, m netsim.MachineModel) *Node {
 		pendingCommits: map[uint32]*moveTxn{},
 		abortedSpans:   map[uint32]bool{},
 	}
+	n.sched = c.Sim.NodeSched(id)
 	return n
 }
 
 // chaosOn reports whether the crash-tolerant protocol is armed.
 func (n *Node) chaosOn() bool { return n.cluster.Chaos != nil }
 
-// now returns the current simulated time.
-func (n *Node) now() netsim.Micros { return n.cluster.Sim.Now() }
+// now returns this node's current simulated time.
+func (n *Node) now() netsim.Micros { return n.sched.Now() }
+
+// nextSeq mints a protocol sequence number for this node's messages.
+func (n *Node) nextSeq() uint32 {
+	n.msgSeq++
+	return n.msgSeq
+}
 
 // charge accounts CPU cycles.
 func (n *Node) charge(cycles uint64) { n.CPU.Charge(n.now(), cycles) }
@@ -435,7 +461,7 @@ func (n *Node) schedule() {
 	}
 	n.schedOn = true
 	delay := n.CPU.FreeAt - n.now()
-	n.cluster.Sim.At(delay, n.schedPass)
+	n.sched.At(delay, n.schedPass)
 }
 
 // schedPass runs one scheduling slice.
@@ -494,12 +520,27 @@ func (n *Node) runSlice(f *Frag) {
 	}
 }
 
+// print records one print statement's output line.
+func (n *Node) print(text string) {
+	line := OutputLine{Node: n.ID, At: n.now(), Text: text}
+	if n.cluster.parallel {
+		n.out = append(n.out, line)
+	} else {
+		n.cluster.Output = append(n.cluster.Output, line)
+	}
+}
+
 // fault kills a thread with a runtime error, releasing any held monitor.
 func (n *Node) fault(f *Frag, msg string) { n.faultErr(f, nil, msg) }
 
 // faultErr is fault with a typed cause (e.g. ErrNodeDown).
 func (n *Node) faultErr(f *Frag, cause error, msg string) {
-	n.cluster.Faults = append(n.cluster.Faults, Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg, Err: cause})
+	rec := Fault{Node: n.ID, At: n.now(), Frag: f.ID, Msg: msg, Err: cause}
+	if n.cluster.parallel {
+		n.faultLog = append(n.faultLog, rec)
+	} else {
+		n.cluster.Faults = append(n.cluster.Faults, rec)
+	}
 	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID), Kind: obs.EvFault,
 		Frag: f.ID, Str: msg})
 	n.cluster.Rec.Metrics().Add("faults", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
@@ -567,7 +608,7 @@ func (n *Node) sendMsg(dst int, p wire.Payload) (int, netsim.Micros) {
 // destination link-acknowledges it. Chaos-off, onAck is ignored (delivery
 // is certain) and the bytes on the wire are exactly the legacy format.
 func (n *Node) sendMsgAck(dst int, p wire.Payload, onAck func()) (int, netsim.Micros) {
-	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.cluster.nextSeq(), Payload: p}
+	m := &wire.Msg{Src: int32(n.ID), Dst: int32(dst), Seq: n.nextSeq(), Payload: p}
 	// Marshal into a pooled scratch buffer: netsim.Send copies the payload
 	// into its own delivery buffer and the chaos link layer copies it into
 	// the retransmission frame, so the scratch can be released as soon as

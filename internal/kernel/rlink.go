@@ -97,7 +97,7 @@ func (n *Node) armRetransmit(pf *pendingFrame) {
 	if wait := n.CPU.FreeAt - n.now(); wait > 0 {
 		rto += wait
 	}
-	n.cluster.Sim.At(rto, func() {
+	n.sched.At(rto, func() {
 		if pf.acked || pf.stalled {
 			return
 		}
@@ -171,7 +171,7 @@ func (n *Node) reviveStalled(match func(*pendingFrame) bool) {
 // down so the cadence survives a restart.
 func (n *Node) heartbeatTick() {
 	plan := n.cluster.Chaos
-	n.cluster.Sim.AtWeak(plan.HeartbeatPeriod(), n.heartbeatTick)
+	n.sched.AtWeak(plan.HeartbeatPeriod(), n.heartbeatTick)
 	if !n.Up {
 		return
 	}
@@ -255,7 +255,7 @@ func (n *Node) restart() {
 	}
 	if n.moveRetryStalled {
 		n.moveRetryStalled = false
-		n.cluster.Sim.At(0, n.retryPendingMoves)
+		n.sched.At(0, n.retryPendingMoves)
 	}
 	n.schedule()
 }

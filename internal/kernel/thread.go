@@ -557,7 +557,7 @@ func (n *Node) handlePrint(f *Frag, tr *arch.Trap) {
 	for _, p := range parts {
 		text += p
 	}
-	n.cluster.Output = append(n.cluster.Output, OutputLine{Node: n.ID, At: n.now(), Text: text})
+	n.print(text)
 	n.tracef("node%d print: %s", n.ID, text)
 }
 

@@ -119,7 +119,7 @@ func (n *Node) beginTransit(tx *moveTxn, span uint32) {
 // delivered the timer retires: the destination's MoveAck travels on the
 // reliable link and will arrive whenever the destination is up.
 func (n *Node) armCommitTimer(tx *moveTxn) {
-	n.cluster.Sim.At(n.cluster.Chaos.CommitWindow(), func() {
+	n.sched.At(n.cluster.Chaos.CommitWindow(), func() {
 		if _, live := n.pendingCommits[tx.span]; !live {
 			return
 		}
@@ -188,7 +188,7 @@ func (n *Node) abortMove(tx *moveTxn, reason string) {
 		// otherwise stall on the gap forever. Swap the payload for a
 		// harmless same-sequence filler: a negative MoveAck for this very
 		// span, which the destination ignores.
-		noop := &wire.Msg{Src: int32(n.ID), Dst: int32(pf.dst), Seq: n.cluster.nextSeq(),
+		noop := &wire.Msg{Src: int32(n.ID), Dst: int32(pf.dst), Seq: n.nextSeq(),
 			Payload: &wire.MoveAck{Object: tx.obj.OID, SpanID: tx.span, Epoch: tx.obj.Epoch,
 				Ok: false, Err: "aborted"}}
 		pf.frame = (&wire.LinkFrame{Kind: wire.LData, Seq: pf.seq, Inner: noop.Marshal()}).Marshal()
@@ -209,7 +209,7 @@ func (n *Node) abortMove(tx *moveTxn, reason string) {
 // armMoveRetry schedules a retryPendingMoves pass (chaos only). The timer
 // is strong: a requeued move is unfinished work.
 func (n *Node) armMoveRetry() {
-	n.cluster.Sim.At(n.cluster.Chaos.RetryMoveAfter(), func() {
+	n.sched.At(n.cluster.Chaos.RetryMoveAfter(), func() {
 		if !n.Up {
 			n.moveRetryStalled = true
 			return

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// dupAllInjector duplicates and corrupts every frame.
+type dupAllInjector struct{}
+
+func (dupAllInjector) Frame(at Micros, src, dst, payloadLen int) Verdict {
+	return Verdict{Dup: true, DupDelay: 3, Corrupt: true, CorruptOff: 0, CorruptXor: 0xff}
+}
+
+// TestDupFrameDoesNotAliasPrimary: a duplicated frame must carry its own
+// copy of the payload. If the duplicate aliased the primary's pooled
+// buffer, the primary's corruption would bleed into the duplicate, and the
+// primary's post-handler release would hand the duplicate's bytes back to
+// the pool while still in flight — later frames would scribble over them.
+func TestDupFrameDoesNotAliasPrimary(t *testing.T) {
+	s := NewSim()
+	net := NewNetwork(s)
+	net.Inject = dupAllInjector{}
+	var got [][]byte
+	net.Attach(0, func(int, []byte) {})
+	net.Attach(1, func(src int, payload []byte) {
+		got = append(got, append([]byte(nil), payload...))
+	})
+	// Several frames in flight at once so the pool recycles between
+	// deliveries; distinct first bytes tell the copies apart.
+	const frames = 8
+	s.AtNode(0, 0, func() {
+		for i := 0; i < frames; i++ {
+			if err := net.Send(0, 1, []byte{byte(i + 1), 0xaa, 0xbb}, 0); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	if err := s.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*frames {
+		t.Fatalf("delivered %d copies, want %d", len(got), 2*frames)
+	}
+	// Per original frame i: one corrupted primary (first byte flipped) and
+	// one pristine duplicate must both arrive, each with intact trailers.
+	seen := map[byte][2]int{}
+	for _, p := range got {
+		if len(p) != 3 || !bytes.Equal(p[1:], []byte{0xaa, 0xbb}) {
+			t.Fatalf("delivered payload scrambled: %x", p)
+		}
+		if orig := p[0] ^ 0xff; orig >= 1 && orig <= frames {
+			c := seen[orig]
+			c[0]++
+			seen[orig] = c
+		} else if p[0] >= 1 && p[0] <= frames {
+			c := seen[p[0]]
+			c[1]++
+			seen[p[0]] = c
+		} else {
+			t.Fatalf("unrecognized payload %x", p)
+		}
+	}
+	for i := byte(1); i <= frames; i++ {
+		if seen[i] != [2]int{1, 1} {
+			t.Errorf("frame %d: got %d corrupted primaries and %d pristine duplicates, want 1 and 1",
+				i, seen[i][0], seen[i][1])
+		}
+	}
+}

@@ -7,11 +7,20 @@
 // fixed per-frame latency plus serialized transmission time on the shared
 // medium. All experiment timings (Table 1) are measured in this simulated
 // time, so runs are exactly reproducible.
+//
+// The simulator has two engines over one event order. The sequential
+// engine (Run) is the reference: a single goroutine draining one heap.
+// The parallel engine (RunParallel, par.go) runs each node's events on its
+// own goroutine, using the network's per-frame latency as conservative
+// lookahead. Both engines execute events in the same canonical total
+// order — (time, node, class, per-node sequence) — which is what makes
+// their observable results byte-identical (DESIGN.md §12).
 package netsim
 
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Micros is a simulated time in microseconds.
@@ -20,22 +29,48 @@ type Micros int64
 // MS renders a time in milliseconds.
 func (m Micros) MS() float64 { return float64(m) / 1000 }
 
+// Event classes: at one (time, node) instant, locally scheduled work runs
+// before frame deliveries. The split exists because the parallel engine
+// cannot reproduce a global "scheduling moment" tiebreak between a node's
+// own timers and frames arbitrated on the shared medium; the class makes
+// the tie a pure function of the event's origin, computable in both
+// engines.
+const (
+	classLocal    = int8(0)
+	classDelivery = int8(1)
+)
+
 type event struct {
-	at   Micros
-	seq  uint64
-	weak bool
-	fn   func()
+	at    Micros
+	node  int32 // owning node; -1 for setup/cluster events (sequential only)
+	class int8  // classLocal or classDelivery
+	seq   uint64
+	weak  bool
+	fn    func()
+}
+
+// less is the canonical event order both engines share: time, then node
+// (cluster events first), then class (local work before deliveries), then
+// scheduling sequence. Within one (node, class) the sequence numbers are
+// assigned in execution order by both engines, so the whole order is
+// engine-independent.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.node != o.node {
+		return e.node < o.node
+	}
+	if e.class != o.class {
+		return e.class < o.class
+	}
+	return e.seq < o.seq
 }
 
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].less(h[j]) }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() interface{} {
@@ -53,27 +88,46 @@ type Sim struct {
 	seq    uint64
 	events uint64
 	strong int // pending non-weak events; Run stops when this hits zero
+
+	// par is non-nil while RunParallel owns the clock; NodeSched and the
+	// Network route through it. It is installed before the node goroutines
+	// start and cleared after they exit, so they never observe it changing.
+	par *parRun
 }
 
 // NewSim returns an empty simulation at time zero.
 func NewSim() *Sim { return &Sim{} }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. During a parallel run each node
+// has its own clock; use NodeSched.Now from node code.
 func (s *Sim) Now() Micros { return s.now }
 
 // Events returns the number of events processed so far.
 func (s *Sim) Events() uint64 { return s.events }
 
-// At schedules fn at now+delay (FIFO among equal times).
-func (s *Sim) At(delay Micros, fn func()) { s.schedule(delay, fn, false) }
+// At schedules fn at now+delay (FIFO among equal times). Events scheduled
+// this way belong to no node; they are fine for the sequential engine but
+// RunParallel refuses them — node work must go through AtNode or a
+// NodeSched so the parallel engine knows which queue owns it.
+func (s *Sim) At(delay Micros, fn func()) { s.schedule(-1, delay, fn, false) }
 
 // AtWeak schedules fn like At but weakly: weak events do not keep the
 // simulation alive. Run returns once only weak events remain, so periodic
 // background work (heartbeat ticks, crash/restart schedules) can re-arm
 // itself without preventing termination.
-func (s *Sim) AtWeak(delay Micros, fn func()) { s.schedule(delay, fn, true) }
+func (s *Sim) AtWeak(delay Micros, fn func()) { s.schedule(-1, delay, fn, true) }
 
-func (s *Sim) schedule(delay Micros, fn func(), weak bool) {
+// AtNode schedules fn at now+delay on node's timeline.
+func (s *Sim) AtNode(node int, delay Micros, fn func()) { s.schedule(int32(node), delay, fn, false) }
+
+// AtNodeWeak is AtNode with weak (non-liveness-holding) semantics.
+func (s *Sim) AtNodeWeak(node int, delay Micros, fn func()) { s.schedule(int32(node), delay, fn, true) }
+
+func (s *Sim) schedule(node int32, delay Micros, fn func(), weak bool) {
+	s.scheduleClass(node, classLocal, delay, fn, weak)
+}
+
+func (s *Sim) scheduleClass(node int32, class int8, delay Micros, fn func(), weak bool) {
 	if delay < 0 {
 		delay = 0
 	}
@@ -81,7 +135,7 @@ func (s *Sim) schedule(delay Micros, fn func(), weak bool) {
 	if !weak {
 		s.strong++
 	}
-	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, weak: weak, fn: fn})
+	heap.Push(&s.queue, &event{at: s.now + delay, node: node, class: class, seq: s.seq, weak: weak, fn: fn})
 }
 
 // Step runs the next event; it reports whether one was run.
@@ -101,19 +155,76 @@ func (s *Sim) Step() bool {
 
 // Run processes events until no strong events remain (weak events left in
 // the queue are abandoned) or maxEvents have run. It returns an error if
-// the event budget was exhausted (livelock guard).
+// the event budget was exhausted (livelock guard). Termination is checked
+// before the budget, so a run that quiesces in exactly maxEvents events
+// succeeds.
 func (s *Sim) Run(maxEvents uint64) error {
-	for i := uint64(0); ; i++ {
-		if i >= maxEvents {
-			return fmt.Errorf("netsim: event budget %d exhausted at t=%v µs", maxEvents, s.now)
-		}
+	for ran := uint64(0); ; ran++ {
 		if s.strong == 0 {
+			s.dropAbandoned()
 			return nil
+		}
+		if ran >= maxEvents {
+			return fmt.Errorf("netsim: event budget %d exhausted at t=%v µs", maxEvents, s.now)
 		}
 		if !s.Step() {
 			return nil
 		}
 	}
+}
+
+// dropAbandoned clears the weak events left behind when the simulation
+// quiesces, so their closures (and anything they capture, such as pooled
+// delivery buffers) become garbage instead of staying pinned by the queue.
+func (s *Sim) dropAbandoned() {
+	for _, e := range s.queue {
+		e.fn = nil
+	}
+	s.queue = s.queue[:0]
+}
+
+// PendingEvents reports how many events are still queued (after Run this
+// counts only abandoned work; the quiesce path clears it to zero).
+func (s *Sim) PendingEvents() int { return len(s.queue) }
+
+// NodeSched is a node-owned scheduling handle: the same three operations a
+// node kernel needs (clock, timer, weak timer) in both engines. In the
+// sequential engine it tags events with the node on the shared heap; during
+// a parallel run it routes to the node's own queue and per-node clock.
+// A NodeSched must only be used from the owning node's execution context
+// (its event closures), which is exactly where the kernel uses it.
+type NodeSched struct {
+	s    *Sim
+	node int
+}
+
+// NodeSched returns node's scheduling handle.
+func (s *Sim) NodeSched(node int) NodeSched { return NodeSched{s: s, node: node} }
+
+// Now returns the owning node's current simulated time.
+func (ns NodeSched) Now() Micros {
+	if p := ns.s.par; p != nil {
+		return p.runners[ns.node].now
+	}
+	return ns.s.now
+}
+
+// At schedules fn at the node's now+delay.
+func (ns NodeSched) At(delay Micros, fn func()) {
+	if p := ns.s.par; p != nil {
+		p.runners[ns.node].at(classLocal, delay, fn, false)
+		return
+	}
+	ns.s.schedule(int32(ns.node), delay, fn, false)
+}
+
+// AtWeak schedules fn weakly at the node's now+delay.
+func (ns NodeSched) AtWeak(delay Micros, fn func()) {
+	if p := ns.s.par; p != nil {
+		p.runners[ns.node].at(classLocal, delay, fn, true)
+		return
+	}
+	ns.s.schedule(int32(ns.node), delay, fn, true)
 }
 
 // ---------------------------------------------------------------- CPU model
@@ -154,7 +265,9 @@ type Network struct {
 	sim *Sim
 	// BitsPerSecond is the raw medium rate (default 10 Mbit/s).
 	BitsPerSecond float64
-	// LatencyMicros is propagation plus interface latency per frame.
+	// LatencyMicros is propagation plus interface latency per frame. It is
+	// also the parallel engine's lookahead: a frame sent at t cannot arrive
+	// before t+LatencyMicros, so nodes may run that far ahead independently.
 	LatencyMicros Micros
 	// MinFrameBytes pads small frames (Ethernet minimum 64 bytes).
 	MinFrameBytes int
@@ -163,18 +276,26 @@ type Network struct {
 
 	mediumFree Micros
 	handlers   map[int]Handler
-	down       map[int]bool
+	// down[i] marks node i crashed. Indexed, not a map, so that during a
+	// parallel run node i's own crash/restart events and its delivery
+	// closures (the only writers and readers of entry i) never share
+	// memory with another node's entry.
+	down []bool
 
 	// Observer, when set, sees every frame the medium carries (the
 	// observability recorder implements it; see internal/obs).
 	Observer FrameObserver
 
 	// Inject, when set, decides per-frame fault injection (drops,
-	// duplicates, delays, corruption); see internal/chaos.
+	// duplicates, delays, corruption); see internal/chaos. During a
+	// parallel run it is called from the sending node's goroutine, so an
+	// injector must derive its randomness per (src,dst) link, not from one
+	// shared stream (internal/chaos does).
 	Inject Injector
 
 	// OnLost, when set, is called when a frame is discarded at delivery
-	// time because the destination node is down.
+	// time because the destination node is down. During a parallel run it
+	// is called on the destination node's goroutine.
 	OnLost func(at Micros, src, dst int)
 
 	// Counters.
@@ -183,6 +304,8 @@ type Network struct {
 	PayloadLen uint64
 	// Lost counts frames sent but never delivered (injected drops plus
 	// frames addressed to down nodes); Dups counts injected duplicates.
+	// Lost is updated with atomics: delivery-time discards run on node
+	// goroutines in the parallel engine.
 	Lost uint64
 	Dups uint64
 	// BusyMicros accumulates serialization time on the shared medium (the
@@ -194,7 +317,9 @@ type Network struct {
 	// their marshal buffer immediately), and deliver returns the scratch
 	// to the freelist after the handler runs — handlers fully consume the
 	// frame synchronously — so steady-state traffic does not allocate per
-	// frame. The simulation is single-goroutine; no locking needed.
+	// frame. The freelist is only touched by the sequential engine (one
+	// goroutine); the parallel engine allocates plain buffers instead of
+	// sharing a freelist across node goroutines.
 	freeBufs [bufNumClasses][][]byte
 }
 
@@ -204,7 +329,10 @@ const (
 	bufClassKeep    = 32 // retained scratch buffers per class
 )
 
-// grabBuf returns a scratch buffer holding a copy of payload.
+// grabBuf returns a scratch buffer holding a copy of payload. Each call
+// returns a distinct buffer — a duplicated frame must never alias its
+// primary copy, or the first delivery's release would hand the second
+// delivery's bytes back to the pool while still in flight.
 func (n *Network) grabBuf(payload []byte) []byte {
 	c := 0
 	for c < bufNumClasses-1 && 1<<(bufMinClassBits+c) < len(payload) {
@@ -245,7 +373,9 @@ type Verdict struct {
 }
 
 // Injector decides the fate of each frame the medium carries. It must be
-// deterministic in (at, src, dst, payloadLen) and its own internal state.
+// deterministic in (at, src, dst, payloadLen) and its own internal state,
+// and that state must be partitioned per (src,dst) link so verdicts do not
+// depend on how frames from different senders interleave.
 type Injector interface {
 	Frame(at Micros, src, dst, payloadLen int) Verdict
 }
@@ -284,42 +414,51 @@ func NewNetwork(sim *Sim) *Network {
 }
 
 // Attach registers the frame handler for node id.
-func (n *Network) Attach(node int, h Handler) { n.handlers[node] = h }
+func (n *Network) Attach(node int, h Handler) {
+	n.handlers[node] = h
+	n.growDown(node)
+}
+
+func (n *Network) growDown(node int) {
+	for len(n.down) <= node {
+		n.down = append(n.down, false)
+	}
+}
 
 // SetNodeUp marks node id up or down. Frames addressed to a down node are
 // discarded at delivery time (the sender cannot tell; fail-stop model).
 func (n *Network) SetNodeUp(node int, up bool) {
-	if n.down == nil {
-		n.down = map[int]bool{}
-	}
+	n.growDown(node)
 	n.down[node] = !up
 }
 
 // NodeUp reports whether node id is currently up.
-func (n *Network) NodeUp(node int) bool { return !n.down[node] }
+func (n *Network) NodeUp(node int) bool {
+	return node < 0 || node >= len(n.down) || !n.down[node]
+}
 
-// Send transmits payload from src to dst. Transmission begins no earlier
-// than `earliest` (the sender's CPU finishing the marshalling work) and
-// after the shared medium frees up; the frame then serializes at the medium
-// rate and the per-frame latency elapses before delivery.
-func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
-	h, ok := n.handlers[dst]
-	if !ok {
-		return fmt.Errorf("netsim: no node %d attached", dst)
-	}
-	size := len(payload) + n.OverheadBytes
+// frameSize returns the on-wire size of a payload and its serialization
+// time on the medium.
+func (n *Network) frameSize(payloadLen int) (size int, xmit Micros) {
+	size = payloadLen + n.OverheadBytes
 	if size < n.MinFrameBytes {
 		size = n.MinFrameBytes
 	}
+	xmit = Micros(float64(size*8) / n.BitsPerSecond * 1e6)
+	return size, xmit
+}
+
+// arbitrate claims the shared medium for one frame: transmission begins no
+// earlier than the send instant, the sender's CPU being free, and the
+// medium freeing up. It returns the delivery instant. Both engines call
+// this in the same canonical frame order, so mediumFree evolves
+// identically.
+func (n *Network) arbitrate(sendAt, earliest Micros, xmit Micros, size, payloadLen int) (deliverAt Micros) {
 	n.Frames++
 	n.Bytes += uint64(size)
-	n.PayloadLen += uint64(len(payload))
-	xmit := Micros(float64(size*8) / n.BitsPerSecond * 1e6)
+	n.PayloadLen += uint64(payloadLen)
 	n.BusyMicros += xmit
-	if n.Observer != nil {
-		n.Observer.OnFrame(int64(n.sim.Now()), src, dst, len(payload), size, int64(xmit))
-	}
-	start := n.sim.Now()
+	start := sendAt
 	if earliest > start {
 		start = earliest
 	}
@@ -327,34 +466,67 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 		start = n.mediumFree
 	}
 	n.mediumFree = start + xmit
-	deliverAt := n.mediumFree + n.LatencyMicros
+	return n.mediumFree + n.LatencyMicros
+}
+
+// Send transmits payload from src to dst. Transmission begins no earlier
+// than `earliest` (the sender's CPU finishing the marshalling work) and
+// after the shared medium frees up; the frame then serializes at the medium
+// rate and the per-frame latency elapses before delivery.
+func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
+	if _, ok := n.handlers[dst]; !ok {
+		return fmt.Errorf("netsim: no node %d attached", dst)
+	}
+	if p := n.sim.par; p != nil {
+		return n.sendParallel(p, src, dst, payload, earliest)
+	}
+	h := n.handlers[dst]
+	size, xmit := n.frameSize(len(payload))
+	if n.Observer != nil {
+		n.Observer.OnFrame(int64(n.sim.Now()), src, dst, len(payload), size, int64(xmit))
+	}
 	var v Verdict
 	if n.Inject != nil {
 		v = n.Inject.Frame(n.sim.Now(), src, dst, len(payload))
 	}
+	deliverAt := n.arbitrate(n.sim.Now(), earliest, xmit, size, len(payload))
 	if v.Drop {
-		n.Lost++
+		atomic.AddUint64(&n.Lost, 1)
 	} else {
 		buf := n.grabBuf(payload)
-		if v.Corrupt && len(buf) > 0 {
-			off := v.CorruptOff % len(buf)
-			if off < 0 {
-				off += len(buf)
-			}
-			buf[off] ^= v.CorruptXor
-		}
+		corrupt(buf, v)
 		n.deliver(deliverAt+v.ExtraDelay, src, dst, h, buf)
 	}
 	if v.Dup {
 		n.Dups++
+		// The duplicate gets its own copy of the (uncorrupted) payload:
+		// both copies are released independently after their handlers run,
+		// so they must never share a pooled buffer.
 		dup := n.grabBuf(payload)
-		d := v.DupDelay
-		if d < 1 {
-			d = 1
-		}
-		n.deliver(deliverAt+d, src, dst, h, dup)
+		n.deliver(deliverAt+dupDelay(v), src, dst, h, dup)
 	}
 	return nil
+}
+
+// corrupt applies a verdict's bit-flip to the primary delivery copy.
+func corrupt(buf []byte, v Verdict) {
+	if !v.Corrupt || len(buf) == 0 {
+		return
+	}
+	off := v.CorruptOff % len(buf)
+	if off < 0 {
+		off += len(buf)
+	}
+	buf[off] ^= v.CorruptXor
+}
+
+// dupDelay returns the duplicate copy's extra delay (minimum 1µs, so the
+// duplicate never lands before the original).
+func dupDelay(v Verdict) Micros {
+	if v.DupDelay < 1 {
+		return 1
+	}
+	return v.DupDelay
 }
 
 // deliver schedules a frame's arrival; frames addressed to a node that is
@@ -363,9 +535,9 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 // not retain it (they copy whatever outlives the call — Unmarshal copies
 // strings, the chaos link layer copies held frames).
 func (n *Network) deliver(at Micros, src, dst int, h Handler, buf []byte) {
-	n.sim.At(at-n.sim.Now(), func() {
-		if n.down[dst] {
-			n.Lost++
+	n.sim.scheduleClass(int32(dst), classDelivery, at-n.sim.now, func() {
+		if !n.NodeUp(dst) {
+			atomic.AddUint64(&n.Lost, 1)
 			if n.OnLost != nil {
 				n.OnLost(n.sim.Now(), src, dst)
 			}
@@ -374,7 +546,7 @@ func (n *Network) deliver(at Micros, src, dst int, h Handler, buf []byte) {
 		}
 		h(src, buf)
 		n.releaseBuf(buf)
-	})
+	}, false)
 }
 
 // ResetCounters zeroes the traffic counters.

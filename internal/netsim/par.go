@@ -1,0 +1,340 @@
+// The parallel engine (empar): conservative parallel discrete-event
+// execution with the network's per-frame latency as lookahead.
+//
+// The engine is a barrier-window design. Let L = Network.LatencyMicros and
+// T = the earliest pending event anywhere. Every frame sent at a time
+// t ≥ T is delivered no earlier than t + L ≥ T + L, so all events in the
+// window [T, T+L) are causally independent across nodes: each node's
+// goroutine can drain its own queue through the window without observing
+// any other node. At the barrier the coordinator arbitrates the window's
+// sends on the shared medium — in the exact order the sequential engine
+// would have issued them — inserts the resulting deliveries, and opens the
+// next window.
+//
+// Determinism: both engines execute events in the canonical
+// (time, node, class, per-node seq) order (netsim.go). Within a window
+// node queues are disjoint, so per-node execution order is the canonical
+// order restricted to that node; sends are harvested per node and sorted
+// by (send time, src, per-src index), which equals the canonical order of
+// their originating events; medium arbitration is a fold over that
+// sequence, so transmission starts, deliveries, and every traffic counter
+// come out identical to the sequential engine. See DESIGN.md §12.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// sendReq is one frame awaiting medium arbitration at the window barrier.
+// Everything node-local (size, transmission time, fault verdict, payload
+// copies, observer events) was already computed on the sending node's
+// goroutine; only the shared-medium fold is deferred.
+type sendReq struct {
+	src, dst   int
+	sendAt     Micros // sending node's clock at the Send call
+	earliest   Micros // sender CPU free (transmission cannot start before)
+	idx        uint64 // per-src issue order
+	size       int
+	payloadLen int
+	xmit       Micros
+	v          Verdict
+	buf        []byte // primary delivery copy (corrupted if the verdict says); nil when dropped
+	dupBuf     []byte // duplicate's own uncorrupted copy when v.Dup
+}
+
+// nodeRunner owns one node's event queue, clock and goroutine.
+type nodeRunner struct {
+	id   int
+	heap eventHeap
+	seq  uint64 // per-node scheduling sequence (continues the global one)
+	now  Micros
+	// strong/ran/reqs are written by the runner goroutine during a window
+	// and read by the coordinator at the barrier (the start/done channel
+	// pair orders every access).
+	strong int
+	ran    uint64
+	sends  uint64 // per-src send index
+	reqs   []sendReq
+
+	start chan Micros // window end; closing it stops the goroutine
+	done  chan struct{}
+}
+
+func (r *nodeRunner) nextSeq() uint64 {
+	r.seq++
+	return r.seq
+}
+
+// at schedules fn on this runner's own queue (called from the runner's
+// goroutine via NodeSched, or from the coordinator at a barrier).
+func (r *nodeRunner) at(class int8, delay Micros, fn func(), weak bool) {
+	if delay < 0 {
+		delay = 0
+	}
+	if !weak {
+		r.strong++
+	}
+	heap.Push(&r.heap, &event{at: r.now + delay, node: int32(r.id), class: class, seq: r.nextSeq(), weak: weak, fn: fn})
+}
+
+// head returns the earliest pending event time, or ok=false when idle.
+func (r *nodeRunner) head() (Micros, bool) {
+	if len(r.heap) == 0 {
+		return 0, false
+	}
+	return r.heap[0].at, true
+}
+
+// run is the node goroutine: drain events strictly before each window end,
+// until the start channel closes.
+func (r *nodeRunner) run() {
+	for w := range r.start {
+		for len(r.heap) > 0 && r.heap[0].at < w {
+			e := heap.Pop(&r.heap).(*event)
+			r.now = e.at
+			r.ran++
+			if !e.weak {
+				r.strong--
+			}
+			e.fn()
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// abandon drops any leftover (weak) events at quiesce, mirroring the
+// sequential engine's dropAbandoned.
+func (r *nodeRunner) abandon() {
+	for _, e := range r.heap {
+		e.fn = nil
+	}
+	r.heap = r.heap[:0]
+}
+
+// parRun is one parallel execution: the runners plus the shared network.
+type parRun struct {
+	sim       *Sim
+	net       *Network
+	lookahead Micros
+	runners   []*nodeRunner
+}
+
+// sendParallel is Network.Send on a sending node's goroutine: compute
+// everything link-local now (frame size, observer event, fault verdict,
+// payload copies), defer only the shared-medium arbitration to the
+// barrier. Buffers are plain allocations — the sequential engine's
+// freelist is not shared across goroutines.
+func (n *Network) sendParallel(p *parRun, src, dst int, payload []byte, earliest Micros) error {
+	if src < 0 || src >= len(p.runners) {
+		return fmt.Errorf("netsim: parallel send from unknown node %d", src)
+	}
+	r := p.runners[src]
+	size, xmit := n.frameSize(len(payload))
+	if n.Observer != nil {
+		n.Observer.OnFrame(int64(r.now), src, dst, len(payload), size, int64(xmit))
+	}
+	var v Verdict
+	if n.Inject != nil {
+		v = n.Inject.Frame(r.now, src, dst, len(payload))
+	}
+	req := sendReq{
+		src: src, dst: dst,
+		sendAt: r.now, earliest: earliest, idx: r.sends,
+		size: size, payloadLen: len(payload), xmit: xmit, v: v,
+	}
+	r.sends++
+	if !v.Drop {
+		req.buf = append(make([]byte, 0, len(payload)), payload...)
+		corrupt(req.buf, v)
+	}
+	if v.Dup {
+		req.dupBuf = append(make([]byte, 0, len(payload)), payload...)
+	}
+	r.reqs = append(r.reqs, req)
+	return nil
+}
+
+// flushSends arbitrates the window's sends in canonical order and inserts
+// the resulting delivery events. Runs at the barrier (all runners idle).
+func (p *parRun) flushSends() {
+	var all []sendReq
+	for _, r := range p.runners {
+		all = append(all, r.reqs...)
+		r.reqs = r.reqs[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	// (sendAt, src, idx) is exactly the order the sequential engine's
+	// canonical event order would have issued these Send calls in: events
+	// at one instant run in node order, and one node's sends at one
+	// instant run in issue order.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.sendAt != b.sendAt {
+			return a.sendAt < b.sendAt
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.idx < b.idx
+	})
+	n := p.net
+	for _, req := range all {
+		deliverAt := n.arbitrate(req.sendAt, req.earliest, req.xmit, req.size, req.payloadLen)
+		if req.v.Drop {
+			atomic.AddUint64(&n.Lost, 1)
+		} else {
+			p.insertDelivery(req.src, req.dst, deliverAt+req.v.ExtraDelay, req.buf)
+		}
+		if req.v.Dup {
+			n.Dups++
+			p.insertDelivery(req.src, req.dst, deliverAt+dupDelay(req.v), req.dupBuf)
+		}
+	}
+}
+
+// insertDelivery queues a frame arrival on the destination runner. The
+// closure mirrors the sequential deliver: a down destination discards the
+// frame. No buffer pooling — buf is a plain allocation owned by the
+// delivery.
+func (p *parRun) insertDelivery(src, dst int, at Micros, buf []byte) {
+	r := p.runners[dst]
+	if at < r.now {
+		// Lookahead violation — cannot happen while deliverAt ≥ sendAt+L,
+		// but guard it loudly rather than silently reordering time.
+		panic(fmt.Sprintf("netsim: delivery at %dµs behind node %d clock %dµs", at, dst, r.now))
+	}
+	n := p.net
+	h := n.handlers[dst]
+	r.strong++
+	heap.Push(&r.heap, &event{at: at, node: int32(dst), class: classDelivery, seq: r.nextSeq(), fn: func() {
+		if !n.NodeUp(dst) {
+			atomic.AddUint64(&n.Lost, 1)
+			if n.OnLost != nil {
+				n.OnLost(r.now, src, dst)
+			}
+			return
+		}
+		h(src, buf)
+	}})
+}
+
+// RunParallel drives the simulation to completion with one goroutine per
+// node, producing byte-identical observable results to Run (see the
+// package comment). numNodes is the cluster size; net must be the network
+// the nodes communicate over (its LatencyMicros is the lookahead, so it
+// must be ≥ 1). Every pending event must have been scheduled via
+// AtNode/AtNodeWeak/NodeSched — node-less events have no home queue.
+//
+// Differences from Run, both only observable under a chaos plan: weak
+// events that fall inside the final window may still run after the last
+// strong event (the sequential engine stops mid-window), and the event
+// budget is only checked at window barriers. Without weak events the
+// engines terminate identically.
+func (s *Sim) RunParallel(net *Network, numNodes int, maxEvents uint64) error {
+	if s.par != nil {
+		return fmt.Errorf("netsim: parallel run already active")
+	}
+	if net == nil || net.sim != s {
+		return fmt.Errorf("netsim: RunParallel needs this simulation's network")
+	}
+	if net.LatencyMicros < 1 {
+		return fmt.Errorf("netsim: parallel execution needs nonzero link latency for lookahead")
+	}
+	if numNodes < 1 {
+		return fmt.Errorf("netsim: parallel execution needs at least one node")
+	}
+	p := &parRun{sim: s, net: net, lookahead: net.LatencyMicros}
+	for i := 0; i < numNodes; i++ {
+		p.runners = append(p.runners, &nodeRunner{
+			id: i, seq: s.seq, now: s.now,
+			start: make(chan Micros), done: make(chan struct{}),
+		})
+	}
+	// Shard the pending queue onto the per-node runners.
+	for _, e := range s.queue {
+		if e.node < 0 || int(e.node) >= numNodes {
+			return fmt.Errorf("netsim: pending event owned by no node (node %d); schedule via AtNode before RunParallel", e.node)
+		}
+		r := p.runners[e.node]
+		heap.Push(&r.heap, e)
+		if !e.weak {
+			r.strong++
+		}
+	}
+	s.queue = s.queue[:0]
+	s.strong = 0
+	s.par = p
+
+	var wg sync.WaitGroup
+	for _, r := range p.runners {
+		wg.Add(1)
+		go func(r *nodeRunner) {
+			defer wg.Done()
+			r.run()
+		}(r)
+	}
+	err := p.drive(maxEvents)
+	for _, r := range p.runners {
+		close(r.start)
+	}
+	wg.Wait()
+	// Fold the per-node state back into the sequential clock so post-run
+	// reads (Now, Events) behave as after Run.
+	for _, r := range p.runners {
+		if r.now > s.now {
+			s.now = r.now
+		}
+		s.events += r.ran
+		if r.seq > s.seq {
+			s.seq = r.seq
+		}
+	}
+	s.par = nil
+	return err
+}
+
+// drive is the coordinator loop: pick the next window, let every runner
+// drain it, arbitrate the harvested sends, repeat until no strong events
+// remain anywhere.
+func (p *parRun) drive(maxEvents uint64) error {
+	for {
+		// Barrier state: all runners idle, queues quiescent.
+		strong := 0
+		ran := uint64(0)
+		var horizon Micros
+		have := false
+		for _, r := range p.runners {
+			strong += r.strong
+			ran += r.ran
+			if at, ok := r.head(); ok && (!have || at < horizon) {
+				horizon, have = at, true
+			}
+		}
+		if strong == 0 {
+			for _, r := range p.runners {
+				r.abandon()
+			}
+			return nil
+		}
+		if ran >= maxEvents {
+			return fmt.Errorf("netsim: event budget %d exhausted at t=%v µs", maxEvents, horizon)
+		}
+		if !have {
+			return nil // unreachable: strong > 0 implies a queued event
+		}
+		w := horizon + p.lookahead
+		for _, r := range p.runners {
+			r.start <- w
+		}
+		for _, r := range p.runners {
+			<-r.done
+		}
+		p.flushSends()
+	}
+}

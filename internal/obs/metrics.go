@@ -10,6 +10,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NumHistBuckets is the number of power-of-two histogram buckets: bucket i
@@ -46,9 +47,13 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Registry accumulates metrics. Not safe for concurrent use (the simulation
-// is single-threaded).
+// Registry accumulates metrics. A single mutex guards the maps: the
+// parallel engine's node goroutines add concurrently, and every update is
+// commutative (counter sums, per-node-labelled gauges, histogram
+// count/sum/max/buckets), so the final state is deterministic regardless
+// of interleaving.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]uint64
 	gauges   map[string]int64
 	hists    map[string]*Hist
@@ -88,33 +93,43 @@ func NodeLabels(node int, arch string) string {
 
 // Add increments a counter.
 func (r *Registry) Add(name, labels string, delta uint64) {
+	r.mu.Lock()
 	r.counters[Key(name, labels)] += delta
+	r.mu.Unlock()
 }
 
 // Counter reads a counter (0 when absent).
 func (r *Registry) Counter(name, labels string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.counters[Key(name, labels)]
 }
 
 // SetGauge records an instantaneous value.
 func (r *Registry) SetGauge(name, labels string, v int64) {
+	r.mu.Lock()
 	r.gauges[Key(name, labels)] = v
+	r.mu.Unlock()
 }
 
 // Gauge reads a gauge (0 when absent).
 func (r *Registry) Gauge(name, labels string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.gauges[Key(name, labels)]
 }
 
 // Observe records a histogram observation.
 func (r *Registry) Observe(name, labels string, v uint64) {
 	k := Key(name, labels)
+	r.mu.Lock()
 	h := r.hists[k]
 	if h == nil {
 		h = &Hist{}
 		r.hists[k] = h
 	}
 	h.Observe(v)
+	r.mu.Unlock()
 }
 
 // CounterPoint is one counter in a snapshot.
@@ -153,6 +168,8 @@ type Snapshot struct {
 
 // Snapshot captures the registry at simulated time `at`.
 func (r *Registry) Snapshot(at int64) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := Snapshot{AtMicros: at}
 	keys := make([]string, 0, len(r.counters))
 	for k := range r.counters {

@@ -16,6 +16,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind identifies a structured event type.
@@ -161,8 +162,9 @@ func (k Kind) String() string {
 
 // Event is one structured trace event. Field meaning depends on Kind (see
 // the kind constants); unused fields are zero. At is simulated microseconds,
-// Seq a global emission order (the simulation is single-threaded, so Seq is
-// deterministic).
+// Seq the event's emission index within its node's ring (per-node, so the
+// numbering is identical whether the simulation ran sequentially or in
+// parallel; cross-node order comes from sorting on (At, Node, Seq)).
 type Event struct {
 	Seq  uint64
 	At   int64
@@ -238,10 +240,15 @@ func (e Event) Text() string {
 }
 
 // ring is a bounded per-node event buffer: the most recent cap events.
+// Each ring numbers its own events (seq) and counts its own evictions
+// (dropped): a ring is only ever written by its node's execution context,
+// so per-ring state is what lets the parallel engine emit without locks.
 type ring struct {
 	buf     []Event
 	next    int
 	wrapped bool
+	seq     uint64
+	dropped uint64
 }
 
 func (r *ring) push(e Event) {
@@ -278,15 +285,20 @@ type NodeInfo struct {
 // choose a capacity.
 const DefaultRingCap = 8192
 
-// Recorder collects events, spans and metrics for one cluster. It is not
-// safe for concurrent use; the discrete-event simulation is single-threaded.
+// Recorder collects events, spans and metrics for one cluster. Per-node
+// event emission is partitioned: node i's events go to node i's ring,
+// numbered by that ring's own counter, so concurrent node goroutines (the
+// parallel engine) never share emission state. The span table and metrics
+// registry are internally locked; the text sink is not (install one only
+// for sequential runs — the parallel driver replays the merged stream
+// after the run instead).
 type Recorder struct {
 	nodes   []NodeInfo
 	rings   []ring
 	cluster ring // events with Node < 0 (cluster-level text)
-	spans   []*Span
-	seq     uint64
-	dropped uint64
+	spanMu  sync.Mutex
+	spans   map[uint32]*Span
+	spanSeq []uint64 // per-node span creation counters
 	reg     *Registry
 	sink    func(string)
 }
@@ -302,9 +314,11 @@ func NewRecorder(n, ringCap int) *Recorder {
 		ringCap = 0
 	}
 	r := &Recorder{
-		nodes: make([]NodeInfo, n),
-		rings: make([]ring, n),
-		reg:   NewRegistry(),
+		nodes:   make([]NodeInfo, n),
+		rings:   make([]ring, n),
+		spans:   map[uint32]*Span{},
+		spanSeq: make([]uint64, n+1),
+		reg:     NewRegistry(),
 	}
 	for i := range r.rings {
 		r.rings[i].buf = make([]Event, 0, ringCap)
@@ -342,20 +356,22 @@ func (r *Recorder) SetTextSink(f func(string)) { r.sink = f }
 // building expensive text when false and no ring retains events).
 func (r *Recorder) TextActive() bool { return r.sink != nil }
 
-// Emit records one event: stamps the sequence number, appends to the node's
-// bounded ring, and renders to the text sink if one is installed.
+// Emit records one event: stamps the owning ring's sequence number and
+// appends to that ring, rendering to the text sink if one is installed.
+// Seq is per-ring (node), not global: a per-node counter is the only
+// emission order both engines can agree on, and it is what the canonical
+// (At, Node, Seq) merge in Events sorts by.
 func (r *Recorder) Emit(e Event) {
-	r.seq++
-	e.Seq = r.seq
+	rg := &r.cluster
 	if e.Node >= 0 && int(e.Node) < len(r.rings) {
-		rg := &r.rings[e.Node]
-		if rg.wrapped || len(rg.buf) == cap(rg.buf) {
-			r.dropped++
-		}
-		rg.push(e)
-	} else {
-		r.cluster.push(e)
+		rg = &r.rings[e.Node]
 	}
+	rg.seq++
+	e.Seq = rg.seq
+	if rg.wrapped || len(rg.buf) == cap(rg.buf) {
+		rg.dropped++
+	}
+	rg.push(e)
 	if r.sink != nil {
 		r.sink(fmt.Sprintf("[%8dµs] %s", e.At, e.Text()))
 	}
@@ -372,17 +388,35 @@ func (r *Recorder) Textf(at int64, node int32, format string, args ...any) {
 
 // Dropped reports how many events were evicted from full rings (coverage
 // caps are never silent).
-func (r *Recorder) Dropped() uint64 { return r.dropped }
+func (r *Recorder) Dropped() uint64 {
+	d := r.cluster.dropped
+	for i := range r.rings {
+		d += r.rings[i].dropped
+	}
+	return d
+}
 
-// Events returns every retained event in emission order (per-node rings and
-// cluster-level events merged by sequence number).
+// Events returns every retained event merged in the canonical
+// (At, Node, Seq) order — cluster-level events (Node < 0) first at each
+// instant, then nodes ascending, then each ring's own emission order.
+// This is the simulator's canonical event order, so the merge is identical
+// under the sequential and parallel engines.
 func (r *Recorder) Events() []Event {
 	var out []Event
 	for i := range r.rings {
 		out = append(out, r.rings[i].all()...)
 	}
 	out = append(out, r.cluster.all()...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
 	return out
 }
 

@@ -24,18 +24,22 @@ func TestRingBounded(t *testing.T) {
 	}
 }
 
-func TestEventsMergeBySeq(t *testing.T) {
+func TestEventsMergeCanonical(t *testing.T) {
+	// Events merge in the canonical (At, Node, Seq) order: time first, then
+	// node (cluster-level Node=-1 ahead of node 0), then per-node emission
+	// order — the same total order under the sequential and parallel engines.
 	r := NewRecorder(2, 8)
-	r.Emit(Event{Node: 1, Kind: EvText, Str: "a"})
-	r.Emit(Event{Node: 0, Kind: EvText, Str: "b"})
-	r.Emit(Event{Node: -1, Kind: EvText, Str: "c"})
-	r.Emit(Event{Node: 1, Kind: EvText, Str: "d"})
+	r.Emit(Event{At: 5, Node: 1, Kind: EvText, Str: "a"})
+	r.Emit(Event{At: 5, Node: 0, Kind: EvText, Str: "b"})
+	r.Emit(Event{At: 5, Node: -1, Kind: EvText, Str: "c"})
+	r.Emit(Event{At: 5, Node: 1, Kind: EvText, Str: "d"})
+	r.Emit(Event{At: 2, Node: 1, Kind: EvText, Str: "e"})
 	var got []string
 	for _, e := range r.Events() {
 		got = append(got, e.Str)
 	}
-	if strings.Join(got, "") != "abcd" {
-		t.Errorf("merged order %v", got)
+	if strings.Join(got, "") != "ecbad" {
+		t.Errorf("merged order %v, want [e c b a d]", got)
 	}
 }
 

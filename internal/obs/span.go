@@ -7,7 +7,10 @@
 
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Span is one object migration (one hop). Times are simulated microseconds;
 // phases on different nodes are measured on those nodes' CPU timelines.
@@ -65,24 +68,62 @@ func (s *Span) String() string {
 
 // BeginSpan opens a migration span on the source node. The returned span's
 // ID travels inside the Move message so the destination can close it.
+//
+// IDs are minted per source node — ID = idx·stride + src + 1, where idx is
+// the node's span-creation count — so the numbering needs no cross-node
+// counter and comes out identical under the sequential and parallel
+// engines. Only the table itself is locked (source and destination touch a
+// span's fields at causally ordered instants, never concurrently).
 func (r *Recorder) BeginSpan(at int64, src, dst int32, obj uint32, objKind string) *Span {
-	s := &Span{ID: uint32(len(r.spans) + 1), Obj: obj, Src: src, Dst: dst,
+	stride := uint32(len(r.nodes))
+	if stride == 0 {
+		stride = 1
+	}
+	lane := uint32(0)
+	if src >= 0 && int(src) < len(r.nodes) {
+		lane = uint32(src)
+	}
+	r.spanMu.Lock()
+	idx := r.spanSeq[lane]
+	r.spanSeq[lane]++
+	s := &Span{ID: uint32(idx)*stride + lane + 1, Obj: obj, Src: src, Dst: dst,
 		ObjKind: objKind, Start: at}
-	r.spans = append(r.spans, s)
+	r.spans[s.ID] = s
+	r.spanMu.Unlock()
 	return s
 }
 
 // Span resolves a span id (nil when unknown — e.g. id 0, or a Move decoded
 // from a foreign stream).
 func (r *Recorder) Span(id uint32) *Span {
-	if id == 0 || int(id) > len(r.spans) {
-		return nil
-	}
-	return r.spans[id-1]
+	r.spanMu.Lock()
+	s := r.spans[id]
+	r.spanMu.Unlock()
+	return s
 }
 
-// Spans returns every span opened so far, in creation order.
-func (r *Recorder) Spans() []*Span { return r.spans }
+// Spans returns every span opened so far, ordered by (Start, Src, ID) —
+// a canonical order equal to creation order for the sequential engine and
+// identical under the parallel one.
+func (r *Recorder) Spans() []*Span {
+	r.spanMu.Lock()
+	out := make([]*Span, 0, len(r.spans))
+	for _, s := range r.spans {
+		out = append(out, s)
+	}
+	r.spanMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
 
 // SpanSent records the wire hand-off: the serialized size and the instant
 // the source CPU finished marshalling (transmission can start).
