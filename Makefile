@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke bench-baselines
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke
 
 build:
 	$(GO) build ./...
@@ -80,3 +80,13 @@ par-smoke:
 # hold; full fuzzing runs separately with -fuzz.
 fuzz-smoke:
 	$(GO) test -run FuzzMsgDecode ./internal/wire
+
+# The points-to object-graph report must build for the whole corpus, find
+# at least one group-migration cohort in producer_consumer, and be
+# byte-identical across repeated solves (ptacheck re-solves 5x).
+pta-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/emvet -graph examples/programs/*.em > .ci/pta_graph.out
+	grep -q '^cohort ' .ci/pta_graph.out
+	$(GO) run ./cmd/emvet -graph examples/programs/producer_consumer.em | grep -q '^cohort '
+	$(GO) run ./tools/ptacheck examples/programs/*.em

@@ -74,6 +74,16 @@ var subcommands = []struct {
 	{"conv", conv},
 	{"ablations", ablations},
 	{"par", par},
+	{"shrink", shrink},
+}
+
+func shrink(string) error {
+	rows, err := exp.Shrink(filepath.Join("examples", "programs"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatShrink(rows))
+	return nil
 }
 
 func usage() {

@@ -27,6 +27,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-node statistics")
 	vetLoad := flag.Bool("vetload", false, "nodes vet each code object's mobility metadata before loading it")
 	parallel := flag.Bool("parallel", false, "run each node on its own goroutine (identical results; see DESIGN.md §12)")
+	noSharpen := flag.Bool("nosharpen", false, "disable live-set sharpening (dead frame slots ship stale payload instead of canonical zero)")
 	chaosSpec := flag.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05,dup=0.02,crash=1@20000:50000 (see internal/chaos)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(2)
 	}
-	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel}
+	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)
 		if err != nil {

@@ -2,15 +2,23 @@
 // each Emerald-subset source file for every simulated architecture and runs
 // every static-analysis pass in internal/vet over the result — bus-stop
 // isomorphism across ISAs, stop-PC alignment, per-stop liveness consistency,
-// template coverage, and the IR dataflow lints.
+// template coverage, the IR dataflow lints, and the whole-program points-to
+// passes (ptr-escape, dead-ptr-at-stop, immobile-reach).
 //
 // Usage:
 //
-//	emvet [-severity error|warning|info] [-list] file.em...
+//	emvet [-severity error|warning|info] [-passes] [-graph] file.em...
 //
 //	-severity  lowest severity that makes the exit status nonzero
 //	           (default warning)
-//	-list      list the passes and exit
+//	-passes    list the passes with their descriptions and exit
+//	-list      alias for -passes
+//	-graph     print the points-to object-graph report (allocation sites,
+//	           call graph, escapes, pinned reachability, group-migration
+//	           cohorts) instead of diagnostics
+//
+// Findings identical across architectures are printed once, with the
+// architecture list merged into one line.
 //
 // The exit status is 0 when every file compiles and no finding reaches the
 // threshold, 1 otherwise.
@@ -22,14 +30,18 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pta"
 	"repro/internal/vet"
 )
 
 func main() {
 	sevName := flag.String("severity", "warning", "exit nonzero at or above this severity (info, warning, error)")
-	list := flag.Bool("list", false, "list passes and exit")
+	passes := flag.Bool("passes", false, "list passes with descriptions and exit")
+	list := flag.Bool("list", false, "alias for -passes")
+	graph := flag.Bool("graph", false, "print the points-to object-graph report instead of diagnostics")
 	flag.Parse()
-	if *list {
+	if *passes || *list {
 		for _, p := range vet.Passes() {
 			fmt.Printf("%-22s %s\n", p.Name, p.Doc)
 		}
@@ -41,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: emvet [-severity s] [-list] file.em...")
+		fmt.Fprintln(os.Stderr, "usage: emvet [-severity s] [-passes] [-graph] file.em...")
 		os.Exit(2)
 	}
 	fail := false
@@ -60,7 +72,21 @@ func main() {
 			fail = true
 			continue
 		}
-		diags := vet.Check(prog)
+		if *graph {
+			p := &ir.Program{}
+			for _, oc := range prog.Objects {
+				p.Objects = append(p.Objects, oc.IR)
+			}
+			r, err := pta.Analyze(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pta: %v\n", file, err)
+				fail = true
+				continue
+			}
+			fmt.Printf("== %s\n%s", file, r.Report())
+			continue
+		}
+		diags := vet.Dedup(vet.Check(prog))
 		for _, d := range diags {
 			fmt.Printf("%s: %s\n", file, d)
 		}

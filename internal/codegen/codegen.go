@@ -293,6 +293,14 @@ type lowerer struct {
 	fi    *ir.FuncInfo
 	code  []byte
 	stops []busstop.Info
+	// liveMask[pc] is the frame-variable live mask recorded on any bus stop
+	// emitted while lowering IR instruction pc: the machine-independent
+	// liveOut of the instruction (the stop PC is the resumption point past
+	// it) with result slots always included — the kernel reads them at Ret
+	// on the caller's behalf. curLive is liveMask of the instruction being
+	// lowered.
+	liveMask []uint64
+	curLive  uint64
 	// irOff[i] is the machine offset of IR instruction i; fixups record
 	// (branch machine offset, IR target) pairs patched after lowering.
 	irOff  []uint32
@@ -318,8 +326,18 @@ func compileFunc(spec *arch.Spec, obj *ir.Object, f *ir.Func, opts Options) (*Fu
 	if err := lo.tmpl.Validate(); err != nil {
 		return nil, err
 	}
+	li := ir.Liveness(f, fi)
+	var resMask uint64
+	for v := f.NumParams; v < f.NumParams+f.NumResults && v < 64; v++ {
+		resMask |= 1 << uint(v)
+	}
+	lo.liveMask = make([]uint64, len(f.Code))
+	for pc := range f.Code {
+		lo.liveMask[pc] = li.LiveMask(pc, f.NumVars) | resMask
+	}
 	for pc, in := range f.Code {
 		lo.irOff[pc] = uint32(len(lo.code))
+		lo.curLive = lo.liveMask[pc]
 		if !fi.Reach[pc] {
 			// Keep a decodable placeholder so offsets remain well formed;
 			// it can never execute.
@@ -383,6 +401,7 @@ func (lo *lowerer) stop(kind busstop.Kind, exitOnly, pushes bool, rk ir.VK, dept
 		Stop: len(lo.stops), PC: uint32(len(lo.code)), Kind: kind,
 		ExitOnly: exitOnly, Pushes: pushes, ResultKind: rk,
 		TempDepth: depth, TempKinds: append([]ir.VK(nil), kinds...),
+		LiveVars: lo.curLive,
 	})
 }
 

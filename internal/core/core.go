@@ -109,6 +109,11 @@ type Options struct {
 	// results (printed output, faults, events, spans, metrics, simulated
 	// time) are identical to the sequential engine; see DESIGN.md §12.
 	Parallel bool
+	// NoSharpen disables live-set sharpening (Config.SharpenLiveSets):
+	// statically dead frame slots then ship their stale payload instead of
+	// the canonical zero. Observable behavior is identical either way; the
+	// flag exists as the escape hatch and for the differential tests.
+	NoSharpen bool
 }
 
 // System is a compiled program loaded on a simulated network.
@@ -186,6 +191,7 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.VetOnLoad = opts.VetOnLoad
 	cfg.LegacyDispatch = opts.LegacyDispatch
 	cfg.Chaos = opts.Chaos
+	cfg.SharpenLiveSets = !opts.NoSharpen
 	cl, err := kernel.NewCluster(prog, machines, cfg)
 	if err != nil {
 		return nil, err

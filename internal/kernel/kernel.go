@@ -140,16 +140,25 @@ type Config struct {
 	// and heartbeat-based crash suspicion. When nil (the default) the wire
 	// format and event stream are byte-identical to previous releases.
 	Chaos *chaos.Plan
+	// SharpenLiveSets uses the per-stop LiveVars masks the compiler embeds
+	// in bus-stop tables to canonicalize statically dead int/real frame
+	// slots (substituting the canonical zero word) while marshalling. The
+	// wire format, converter call sequence, simulated charges and event
+	// stream are byte-identical to the unsharpened path — only the payload
+	// bits of words no execution can read change — so this is on by
+	// default; cmd/emrun's -nosharpen flag clears it.
+	SharpenLiveSets bool
 }
 
 // DefaultConfig returns the standard configuration.
 func DefaultConfig() Config {
 	return Config{
-		Mode:        ModeEnhanced,
-		Costs:       DefaultCosts(),
-		MemBytes:    8 << 20,
-		StackSize:   64 << 10,
-		SliceInstrs: 200000,
+		Mode:            ModeEnhanced,
+		Costs:           DefaultCosts(),
+		MemBytes:        8 << 20,
+		StackSize:       64 << 10,
+		SliceInstrs:     200000,
+		SharpenLiveSets: true,
 	}
 }
 

@@ -120,6 +120,15 @@ type Node struct {
 	batchConv *wire.BatchedConverter
 	rawConv   *wire.RawConverter
 
+	// MarshaledVarSlots counts frame-variable slots this node marshaled
+	// onto the wire; CanonicalizedVarSlots counts the subset whose payload
+	// was replaced by the canonical zero because the stop's LiveVars mask
+	// proved them dead (Config.SharpenLiveSets). Plain counters, not obs
+	// metrics: they are read by tests and embench, and must not perturb
+	// allocation counts or the event stream.
+	MarshaledVarSlots     uint64
+	CanonicalizedVarSlots uint64
+
 	// sched is this node's scheduling handle: clock and timers routed to
 	// the node's own event queue under the parallel engine, and to the
 	// shared heap (tagged with the node) under the sequential one. All

@@ -12,7 +12,12 @@
 // Plans change how fast conversion runs, never what it does: the
 // converter call sequence (which feeds the simulated conversion cost via
 // chargeConv), the wire bytes, and the resulting memory images must be
-// identical to the template-interpreting path.
+// identical to the template-interpreting path. The one sanctioned
+// deviation is live-set sharpening (Config.SharpenLiveSets): slots the
+// stop's LiveVars mask proves dead ship the canonical zero instead of
+// their stale payload. That substitutes the input word of the same
+// converter call — sequence, sizes, charges and events are untouched,
+// and the restored slot differs only in bits no execution can read.
 
 package kernel
 
@@ -46,12 +51,21 @@ func classOf(k ir.VK) slotClass {
 	return slotInt
 }
 
-// varPlan is one variable's resolved home and conversion class.
+// varPlan is one variable's resolved home and conversion class. dead
+// marks slots the stop's LiveVars mask proves unread after resumption;
+// their payload word is replaced by zero (the canonical zero for the
+// slot's class in this node's formats) before conversion, so the
+// converter call sequence, wire sizes, charges and events stay identical
+// while the shipped bits become canonical. Pointer slots are never
+// marked: their conversion has observable side effects (string copies,
+// swizzle exports), so canonicalizing them would not be charge-neutral.
 type varPlan struct {
 	inReg bool
 	reg   uint8
 	off   uint32
 	class slotClass
+	dead  bool
+	zero  uint32
 }
 
 // planKey identifies a plan within one loadedFunc: the bus stop
@@ -109,6 +123,20 @@ func (n *Node) planFor(lf *loadedFunc, stopNum uint16, peer arch.ID) *convPlan {
 			pl.temps[i] = classOf(k)
 		}
 		pl.result = classOf(stop.ResultKind)
+		if n.cluster.SharpenLiveSets {
+			// Slots >= 64 are outside the mask and stay live; entry frames
+			// never reach here (no stop, nothing is dead before first run).
+			for v := range pl.vars {
+				vp := &pl.vars[v]
+				if v >= 64 || vp.class == slotPtr || stop.LiveVars&(1<<uint(v)) != 0 {
+					continue
+				}
+				vp.dead = true
+				if vp.class == slotReal {
+					vp.zero = n.Spec.Float.Enc(0)
+				}
+			}
+		}
 	}
 	if lf.plans == nil {
 		lf.plans = make(map[planKey]*convPlan)
@@ -163,10 +191,14 @@ func (n *Node) marshalFramePlanned(conv wire.Converter, fi frameInfo, pl *convPl
 		return act, nil
 	}
 	all := make([]wire.Value, nv+nt)
+	n.MarshaledVarSlots += uint64(nv)
 	for i := range pl.vars {
 		vp := &pl.vars[i]
 		var w uint32
-		if vp.inReg {
+		if vp.dead {
+			w = vp.zero
+			n.CanonicalizedVarSlots++
+		} else if vp.inReg {
 			w = fi.regs[vp.reg]
 		} else {
 			w = n.ld32(fi.fp + vp.off)

@@ -11,7 +11,9 @@ import (
 
 // planAllocSrc gives Probe.work a mixed int/real frame and a syscall bus
 // stop (the print), with no pointer-kind locals, so the conversion path
-// under test never touches the swizzler.
+// under test never touches the swizzler. At the print stop, y and b are
+// dead (no path reads them afterwards) while x, a and the result r are
+// live — which is what the sharpened variant of the test relies on.
 const planAllocSrc = `
 object Probe
   var base: Int <- 0
@@ -30,17 +32,18 @@ object Main
 end Main
 `
 
-// One warm-plan MD→MI→MD conversion of a frame is pinned at a single
-// allocation: the combined value slice marshalFramePlanned returns. Plan
-// compilation, template interpretation and per-value boxing must all be
-// off the steady-state path.
-func TestWarmPlanConversionAllocs(t *testing.T) {
+// warmPlanRoundtrip fabricates a stopped Probe.work frame on node 0 of a
+// VAX/SPARC pair, runs a warm planned MD→MI→MD conversion under
+// AllocsPerRun, and returns the plan, the words written into the frame,
+// the words read back, and the measured allocations per run.
+func warmPlanRoundtrip(t *testing.T, cfg Config) (n *Node, pl *convPlan, want, back []uint32, allocs float64) {
+	t.Helper()
 	p := compileSrc(t, planAllocSrc)
-	c, err := NewCluster(p, []netsim.MachineModel{mVAX, mSPARC}, DefaultConfig())
+	c, err := NewCluster(p, []netsim.MachineModel{mVAX, mSPARC}, cfg)
 	if err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
-	n := c.Nodes[0]
+	n = c.Nodes[0]
 	oc := p.Object("Probe")
 	if oc == nil {
 		t.Fatal("no Probe object")
@@ -87,7 +90,7 @@ func TestWarmPlanConversionAllocs(t *testing.T) {
 		t.Fatalf("alloc: %v", err)
 	}
 	fi := frameInfo{lf: lf, fp: fp, stop: stop, tempDepth: tempDepth}
-	want := make([]uint32, 0, len(tmpl.Vars)+tempDepth)
+	want = make([]uint32, 0, len(tmpl.Vars)+tempDepth)
 	for i, h := range tmpl.Vars {
 		w := uint32(10 + i)
 		if h.Kind == ir.VKReal {
@@ -121,11 +124,11 @@ func TestWarmPlanConversionAllocs(t *testing.T) {
 		t.Fatalf("warm marshal: stop %d (%d values), want stop %d (%d values)",
 			act.Stop, len(shipped), stop.Stop, len(want))
 	}
-	pl := n.planFor(lf, uint16(stop.Stop), peer)
+	pl = n.planFor(lf, uint16(stop.Stop), peer)
 
-	back := make([]uint32, len(want))
+	back = make([]uint32, len(want))
 	var m wire.MIActivation
-	got := testing.AllocsPerRun(100, func() {
+	allocs = testing.AllocsPerRun(100, func() {
 		a, vals := n.marshalFramePlanned(conv, fi, pl)
 		m = a
 		for i, v := range vals {
@@ -136,19 +139,67 @@ func TestWarmPlanConversionAllocs(t *testing.T) {
 			back[i] = w
 		}
 	})
-	if got > 1 {
-		t.Errorf("warm MD→MI→MD conversion allocates %.1f allocs/run, want <= 1", got)
-	}
-	// The roundtrip must reproduce the machine-dependent words exactly
-	// (same float format on both sides of MI for identical codecs, and
-	// identity for ints), so the alloc pin is not measuring a path that
-	// silently stopped converting.
 	if len(m.Vars) != len(tmpl.Vars) {
 		t.Fatalf("marshalled %d vars, template has %d", len(m.Vars), len(tmpl.Vars))
+	}
+	return n, pl, want, back, allocs
+}
+
+// One warm-plan MD→MI→MD conversion of a frame is pinned at a single
+// allocation: the combined value slice marshalFramePlanned returns. Plan
+// compilation, template interpretation and per-value boxing must all be
+// off the steady-state path. Sharpening is off here so the roundtrip
+// must reproduce every machine-dependent word exactly (same float format
+// on both sides of MI for identical codecs, identity for ints) — the
+// alloc pin is not measuring a path that silently stopped converting.
+func TestWarmPlanConversionAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharpenLiveSets = false
+	_, _, want, back, allocs := warmPlanRoundtrip(t, cfg)
+	if allocs > 1 {
+		t.Errorf("warm MD→MI→MD conversion allocates %.1f allocs/run, want <= 1", allocs)
 	}
 	for i, w := range back {
 		if w != want[i] {
 			t.Errorf("roundtrip slot %d = %#x, want %#x", i, w, want[i])
 		}
+	}
+}
+
+// The sharpened path must stay on the same ≤1-alloc budget, reproduce
+// every live slot exactly, and restore every pta-dead slot as the
+// canonical zero of its class — and the fixture must actually exercise
+// that (at least one dead slot, never a pointer one).
+func TestWarmPlanConversionAllocsSharpened(t *testing.T) {
+	n, pl, want, back, allocs := warmPlanRoundtrip(t, DefaultConfig())
+	if allocs > 1 {
+		t.Errorf("sharpened warm conversion allocates %.1f allocs/run, want <= 1", allocs)
+	}
+	dead := 0
+	for i := range back {
+		if i < len(pl.vars) && pl.vars[i].dead {
+			dead++
+			if pl.vars[i].class == slotPtr {
+				t.Errorf("slot %d: pointer slot marked dead; sharpening must never touch pointers", i)
+			}
+			var zero uint32
+			if pl.vars[i].class == slotReal {
+				zero = n.Spec.Float.Enc(0)
+			}
+			if back[i] != zero {
+				t.Errorf("dead slot %d restored as %#x, want canonical zero %#x", i, back[i], zero)
+			}
+			continue
+		}
+		if back[i] != want[i] {
+			t.Errorf("live slot %d = %#x, want %#x", i, back[i], want[i])
+		}
+	}
+	if dead == 0 {
+		t.Error("no dead slots in the plan; the sharpened test is vacuous (y and b should be dead at the print stop)")
+	}
+	if n.CanonicalizedVarSlots == 0 || n.MarshaledVarSlots < n.CanonicalizedVarSlots {
+		t.Errorf("counters: marshaled %d, canonicalized %d; want 0 < canonicalized <= marshaled",
+			n.MarshaledVarSlots, n.CanonicalizedVarSlots)
 	}
 }

@@ -1,0 +1,42 @@
+package vet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// Dedup must merge findings identical up to architecture into one line
+// with the arch list joined in encounter order, preserve everything
+// else (including order), and never merge across any other field.
+func TestDedup(t *testing.T) {
+	d := func(pass, arch, msg string, stop int) vet.Diagnostic {
+		return vet.Diagnostic{Pass: pass, Sev: vet.SevError,
+			Object: "Obj", Func: "Obj.op", Arch: arch, Stop: stop, Msg: msg}
+	}
+	in := []vet.Diagnostic{
+		d("pc-alignment", "vax", "same finding", 2),
+		d("liveness-consistency", "vax", "other pass", 2),
+		d("pc-alignment", "m68k", "same finding", 2),
+		d("pc-alignment", "sparc", "same finding", 2),
+		d("pc-alignment", "vax", "same finding", 3), // different stop: keep
+		d("pc-alignment", "vax", "same finding", 2), // duplicate arch: drop
+	}
+	got := vet.Dedup(in)
+	want := []vet.Diagnostic{
+		d("pc-alignment", "vax,m68k,sparc", "same finding", 2),
+		d("liveness-consistency", "vax", "other pass", 2),
+		d("pc-alignment", "vax", "same finding", 3),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Dedup = %+v, want %+v", got, want)
+	}
+	// Machine-independent findings (empty arch) collapse without
+	// inventing an arch list.
+	mi := []vet.Diagnostic{d("ptr-escape", "", "mi finding", -1), d("ptr-escape", "", "mi finding", -1)}
+	got = vet.Dedup(mi)
+	if len(got) != 1 || got[0].Arch != "" {
+		t.Errorf("Dedup(mi) = %+v, want one finding with empty arch", got)
+	}
+}

@@ -31,6 +31,14 @@ var corruptions = map[string]func(t *testing.T, prog *codegen.Program){
 			stops[0].TempKinds = append(stops[0].TempKinds, ir.VKInt)
 		})
 	},
+	"cleared_live_bit": func(t *testing.T, prog *codegen.Program) {
+		restop(t, vaxFunc(t, prog, "Counter"), func(stops []busstop.Info) {
+			if stops[0].LiveVars == 0 {
+				t.Fatal("first Counter.bump stop has no live slots to clear")
+			}
+			stops[0].LiveVars &= stops[0].LiveVars - 1 // clear lowest set bit
+		})
+	},
 	"wrong_template_kind": func(t *testing.T, prog *codegen.Program) {
 		fc := vaxFunc(t, prog, "Holder")
 		if len(fc.Template.Vars) == 0 {
@@ -95,7 +103,11 @@ func TestGoldenPassCoverage(t *testing.T) {
 		"unreachable":         "unreachable-code",
 		"reentrancy":          "monitor-reentrancy",
 		"skewed_stops":        "liveness-consistency",
+		"cleared_live_bit":    "liveness-consistency",
 		"wrong_template_kind": "template-coverage",
+		"escaping_local":      "ptr-escape",
+		"dead_ptr_at_stop":    "dead-ptr-at-stop",
+		"immobile_reach":      "immobile-reach",
 	}
 	for name, pass := range wantPasses {
 		name, pass := name, pass

@@ -26,18 +26,7 @@ func (c *checker) lintObject(oc *codegen.ObjectCode) {
 }
 
 // succs returns the control-flow successors of instruction pc.
-func succs(f *ir.Func, pc int) []int {
-	switch in := f.Code[pc]; in.Op {
-	case ir.Ret:
-		return nil
-	case ir.Jump:
-		return []int{int(in.A)}
-	case ir.BrFalse, ir.BrTrue:
-		return []int{pc + 1, int(in.A)}
-	default:
-		return []int{pc + 1}
-	}
-}
+func succs(f *ir.Func, pc int) []int { return ir.Succs(f, pc) }
 
 // lintUnreachable reports instructions control can never reach. The builder
 // unconditionally appends a final ret, which is legitimately unreachable
@@ -125,68 +114,19 @@ func (c *checker) lintAssignment(oc *codegen.ObjectCode, f *ir.Func, fi *ir.Func
 
 // lintDeadStores reports stores whose value no execution can observe: the
 // slot is overwritten or the activation returns before any load. Result
-// slots are live at every return (the kernel marshals them to the caller),
-// and every slot of a monitored or migratable activation still crosses the
-// wire — so this is a lint, not a transformation license.
+// slots are live at every return (the kernel marshals them to the caller).
+// The same liveness also feeds the per-stop LiveVars masks codegen embeds,
+// but the lint itself only reports; it licenses no transformation.
 func (c *checker) lintDeadStores(oc *codegen.ObjectCode, f *ir.Func, fi *ir.FuncInfo) {
-	nv := f.NumVars
-	if nv == 0 {
+	if f.NumVars == 0 {
 		return
 	}
-	resultsLive := make([]bool, nv)
-	for v := f.NumParams; v < f.NumParams+f.NumResults; v++ {
-		resultsLive[v] = true
-	}
-	// Backward may-liveness to fixpoint. liveOut[pc][v]: some path from pc's
-	// successors reads v before writing it (or returns it).
-	liveOut := make([][]bool, len(f.Code))
-	liveIn := make([][]bool, len(f.Code))
-	for pc := range f.Code {
-		liveOut[pc] = make([]bool, nv)
-		liveIn[pc] = make([]bool, nv)
-	}
-	for changed := true; changed; {
-		changed = false
-		for pc := len(f.Code) - 1; pc >= 0; pc-- {
-			if !fi.Reach[pc] {
-				continue
-			}
-			in := f.Code[pc]
-			var out []bool
-			if in.Op == ir.Ret {
-				out = resultsLive
-			} else {
-				out = liveOut[pc]
-				for v := range out {
-					out[v] = false
-				}
-				for _, s := range succs(f, pc) {
-					for v := range out {
-						out[v] = out[v] || liveIn[s][v]
-					}
-				}
-			}
-			liveOut[pc] = out
-			for v := range out {
-				lv := out[v]
-				switch {
-				case in.Op == ir.StoreVar && int(in.A) == v:
-					lv = false
-				case in.Op == ir.LoadVar && int(in.A) == v:
-					lv = true
-				}
-				if lv != liveIn[pc][v] {
-					liveIn[pc][v] = lv
-					changed = true
-				}
-			}
-		}
-	}
+	li := ir.Liveness(f, fi)
 	for pc, in := range f.Code {
 		if in.Op != ir.StoreVar || !fi.Reach[pc] {
 			continue
 		}
-		if v := int(in.A); !liveOut[pc][v] {
+		if v := int(in.A); !li.LiveOut[pc][v] {
 			c.report("dead-store", SevWarning, oc.Name, f.Name, "", -1,
 				"value stored to %s at instruction %d is never read", f.VarNames[v], pc)
 		}

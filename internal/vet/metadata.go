@@ -184,6 +184,7 @@ type expStop struct {
 	pushes  bool
 	rk      ir.VK
 	kinds   []ir.VK // temporaries below the stop, bottom first
+	live    uint64  // frame-variable live mask (liveOut of irPC | result slots)
 }
 
 // expectedStops recomputes, from the IR alone, the stop stream every
@@ -193,6 +194,11 @@ type expStop struct {
 // here a second time so a back-end bug cannot certify itself.
 func expectedStops(f *ir.Func, fi *ir.FuncInfo, omitLoopPolls bool) []expStop {
 	var out []expStop
+	li := ir.Liveness(f, fi)
+	var resMask uint64
+	for v := f.NumParams; v < f.NumParams+f.NumResults && v < 64; v++ {
+		resMask |= 1 << uint(v)
+	}
 	for pc, in := range f.Code {
 		if !fi.Reach[pc] {
 			continue
@@ -202,6 +208,7 @@ func expectedStops(f *ir.Func, fi *ir.FuncInfo, omitLoopPolls bool) []expStop {
 			out = append(out, expStop{
 				irPC: pc, kind: kind, monExit: monExit, pushes: pushes, rk: rk,
 				kinds: append([]ir.VK(nil), st[:depth]...),
+				live:  li.LiveMask(pc, f.NumVars) | resMask,
 			})
 		}
 		switch in.Op {
@@ -279,6 +286,10 @@ func (c *checker) livenessConsistency(oc *codegen.ObjectCode, ac *codegen.ArchCo
 			wantExit := e.monExit && spec.HasAtomicUnlink
 			if s.ExitOnly != wantExit {
 				bad("exit-only=%v, want %v", s.ExitOnly, wantExit)
+			}
+			if s.LiveVars != e.live {
+				bad("live mask %#x, want %#x (a cleared live bit would let the "+
+					"kernel canonicalize a slot some path still reads)", s.LiveVars, e.live)
 			}
 			if s.TempDepth != len(e.kinds) {
 				bad("temp depth %d, want %d", s.TempDepth, len(e.kinds))

@@ -1,0 +1,201 @@
+// Points-to-backed passes: findings derived from the whole-program
+// Steensgaard analysis (internal/pta) rather than from one function's
+// metadata. All three are advisory — the mobility protocol stays correct
+// without them — but each surfaces a migration-cost or placement fact the
+// programmer cannot see locally.
+
+package vet
+
+import (
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/pta"
+)
+
+// ptaResult lazily solves the whole-program analysis once per vet run.
+// A nil result with done=true means the IR did not verify; the liveness
+// pass reports that separately, so the pta passes just stay silent.
+func (c *checker) ptaResult() *pta.Result {
+	if c.ptaDone {
+		return c.pta
+	}
+	c.ptaDone = true
+	p := &ir.Program{}
+	for _, oc := range c.prog.Objects {
+		p.Objects = append(p.Objects, oc.IR)
+	}
+	if r, err := pta.Analyze(p); err == nil {
+		c.pta = r
+	}
+	return c.pta
+}
+
+// ptaObject runs the points-to-backed passes over one object.
+func (c *checker) ptaObject(oc *codegen.ObjectCode) {
+	r := c.ptaResult()
+	if r == nil {
+		return
+	}
+	c.ptrEscape(oc, r)
+	c.deadPtrAtStop(oc)
+	c.immobileReach(oc, r)
+}
+
+// ptrEscape reports frame-local pointer slots whose referents may be
+// captured into a heap location — an object field, array element, or
+// result slot — and therefore outlive the activation. The runtime keeps
+// every reference OID-backed so this is never unsound here; the finding
+// marks the allocation as one whose lifetime is no longer bounded by the
+// frame, the exact property a frame-local (register) object optimization
+// would need to check first.
+func (c *checker) ptrEscape(oc *codegen.ObjectCode, r *pta.Result) {
+	for _, f := range oc.IR.Funcs {
+		for v := f.NumParams + f.NumResults; v < f.NumVars; v++ {
+			if f.VarKinds[v] != ir.VKPtr || !r.SlotEscapes(f.Name, v) {
+				continue
+			}
+			c.report("ptr-escape", SevInfo, oc.Name, f.Name, "", -1,
+				"referent of frame-local %s may be captured into a heap location "+
+					"(object field, array element, or result slot) and outlive the "+
+					"activation; it must stay OID-backed, never frame-allocated",
+				f.VarNames[v])
+		}
+	}
+}
+
+// deadPtrAtStop reports pointer locals that are marshaled at a bus stop
+// inside a loop although no path after the stop reads them: each
+// migration or monitored transfer through such a stop swizzles (and on
+// heterogeneous moves, converts) a reference the program will never look
+// at again. The slot still crosses the wire faithfully when live-mask
+// sharpening is off — the finding is about recurring cost, not
+// correctness. Only may-assigned slots are reported: a never-assigned
+// slot holds nil, which costs nothing to swizzle.
+func (c *checker) deadPtrAtStop(oc *codegen.ObjectCode) {
+	for _, f := range oc.IR.Funcs {
+		fi, err := ir.Analyze(f, oc.IR.VarKinds)
+		if err != nil {
+			continue
+		}
+		nLocals := f.NumVars - f.NumParams - f.NumResults
+		if nLocals == 0 {
+			continue
+		}
+		hasPtrLocal := false
+		for v := f.NumParams + f.NumResults; v < f.NumVars; v++ {
+			if f.VarKinds[v] == ir.VKPtr {
+				hasPtrLocal = true
+			}
+		}
+		if !hasPtrLocal {
+			continue
+		}
+		li := ir.Liveness(f, fi)
+		assigned := mayAssignedAt(f)
+		exp := expectedStops(f, fi, c.prog.Opts.OmitLoopPolls)
+		reported := map[int]bool{}
+		for n, e := range exp {
+			if !inCycle(f, e.irPC) {
+				continue
+			}
+			for v := f.NumParams + f.NumResults; v < f.NumVars; v++ {
+				if f.VarKinds[v] != ir.VKPtr || reported[v] {
+					continue
+				}
+				if assigned[e.irPC] == nil || !assigned[e.irPC][v] {
+					continue
+				}
+				if li.LiveOut[e.irPC][v] {
+					continue
+				}
+				reported[v] = true
+				c.report("dead-ptr-at-stop", SevWarning, oc.Name, f.Name, "", n,
+					"pointer local %s is dead at this in-loop stop but still assigned: "+
+						"every transfer through the loop swizzles a reference no path "+
+						"reads again (clear it, or narrow its scope)", f.VarNames[v])
+			}
+		}
+	}
+}
+
+// immobileReach reports process-bearing objects whose thread can reach —
+// through frame slots, object fields and array elements, across the call
+// graph — an object some execution fixes to a node. Such a thread's
+// closure cannot migrate as a unit: the pinned object stays put, so a
+// group migration would sever locality with it. This is the static
+// placement constraint emauto-style batching has to respect.
+func (c *checker) immobileReach(oc *codegen.ObjectCode, r *pta.Result) {
+	if !oc.IR.HasProcess {
+		return
+	}
+	pinned := r.ProcessPinnedReach(oc.Name)
+	if len(pinned) == 0 {
+		return
+	}
+	c.report("immobile-reach", SevInfo, oc.Name, oc.Name+".$process", "", -1,
+		"process thread can reach node-fixed objects: %s — the thread's "+
+			"reachable closure cannot migrate as a unit", strings.Join(pinned, "; "))
+}
+
+// mayAssignedAt computes, per instruction, which frame slots some path
+// reaching it has assigned (parameters count as assigned at entry). Rows
+// of unreachable instructions stay nil.
+func mayAssignedAt(f *ir.Func) [][]bool {
+	nv := f.NumVars
+	out := make([][]bool, len(f.Code))
+	entry := make([]bool, nv)
+	for v := 0; v < f.NumParams; v++ {
+		entry[v] = true
+	}
+	out[0] = entry
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := append([]bool(nil), out[pc]...)
+		if in := f.Code[pc]; in.Op == ir.StoreVar {
+			st[in.A] = true
+		}
+		for _, s := range ir.Succs(f, pc) {
+			if out[s] == nil {
+				out[s] = append([]bool(nil), st...)
+				work = append(work, s)
+				continue
+			}
+			changed := false
+			for v := range st {
+				if st[v] && !out[s][v] {
+					out[s][v] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	return out
+}
+
+// inCycle reports whether pc lies on a control-flow cycle: whether pc is
+// reachable from its own successors. Bus stops on a cycle are the ones a
+// thread crosses repeatedly, where per-transfer waste compounds.
+func inCycle(f *ir.Func, pc int) bool {
+	seen := make([]bool, len(f.Code))
+	work := append([]int(nil), ir.Succs(f, pc)...)
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		if p == pc {
+			return true
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		work = append(work, ir.Succs(f, p)...)
+	}
+	return false
+}

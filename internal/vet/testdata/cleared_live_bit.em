@@ -1,0 +1,20 @@
+// Negative fixture: compiled clean, then the golden test clears a set
+// LiveVars bit in the first VAX stop (see golden_test.go) — the exact
+// corruption that would let a sharpening kernel canonicalize a slot some
+// path still reads after the thread resumes.
+object Counter
+  monitor
+    var n: Int <- 0
+    operation bump() -> (r: Int)
+      n <- n + 1
+      r <- n
+    end
+  end monitor
+end Counter
+
+object Main
+  process
+    var c: Counter <- new Counter
+    print(c.bump())
+  end process
+end Main

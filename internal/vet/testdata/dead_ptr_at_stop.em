@@ -1,0 +1,27 @@
+// Negative fixture: pointer local s is assigned and read before the
+// loop, but dead at the loop-bottom bus stop — every transfer through
+// the loop swizzles a reference no path reads again.
+object Scratch
+  operation id(v: Int) -> (r: Int)
+    r <- v
+  end
+end Scratch
+
+object Worker
+  operation work(n: Int) -> (r: Int)
+    var s: Scratch <- new Scratch
+    r <- s.id(n)
+    var i: Int <- 0
+    while i < n do
+      r <- r + i
+      i <- i + 1
+    end
+  end
+end Worker
+
+object Main
+  process
+    var w: Worker <- new Worker
+    print(w.work(3))
+  end process
+end Main

@@ -1,0 +1,23 @@
+// Negative fixture: the Widget allocated into frame-local w is stored
+// into Keeper's data slot, so its referent outlives make's activation.
+object Widget
+  operation poke() -> (r: Int)
+    r <- 1
+  end
+end Widget
+
+object Keeper
+  var kept: Widget
+  operation make() -> (r: Int)
+    var w: Widget <- new Widget
+    kept <- w
+    r <- w.poke()
+  end
+end Keeper
+
+object Main
+  process
+    var k: Keeper <- new Keeper
+    print(k.make())
+  end process
+end Main

@@ -1,0 +1,19 @@
+// Negative fixture: Main's process thread reaches an Anchor instance
+// that initialization fixes to a node, so the thread's reachable closure
+// cannot migrate as a unit.
+object Anchor
+  operation ping() -> (r: Int)
+    r <- 1
+  end
+end Anchor
+
+object Main
+  var a: Anchor
+  initially
+    a <- new Anchor
+    fix a at thisnode()
+  end initially
+  process
+    print(a.ping())
+  end process
+end Main

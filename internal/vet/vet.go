@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
+	"repro/internal/pta"
 )
 
 // Severity classifies a diagnostic.
@@ -131,6 +132,40 @@ func HasErrors(diags []Diagnostic) bool {
 	return ok && m >= SevError
 }
 
+// Dedup merges diagnostics that differ only in architecture: the per-arch
+// metadata passes repeat a systematic finding once per ISA, and reading
+// the same message five times helps nobody. Merged findings carry the
+// architecture names joined with "," in encounter order; everything else
+// (order included) is preserved.
+func Dedup(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		pass   string
+		sev    Severity
+		object string
+		fn     string
+		stop   int
+		msg    string
+	}
+	idx := map[key]int{}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := key{d.Pass, d.Sev, d.Object, d.Func, d.Stop, d.Msg}
+		if i, ok := idx[k]; ok {
+			if d.Arch != "" && !strings.Contains(","+out[i].Arch+",", ","+d.Arch+",") {
+				if out[i].Arch == "" {
+					out[i].Arch = d.Arch
+				} else {
+					out[i].Arch += "," + d.Arch
+				}
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, d)
+	}
+	return out
+}
+
 // PassInfo names and documents one pass, for CLI listings and docs.
 type PassInfo struct {
 	Name string
@@ -148,14 +183,19 @@ func Passes() []PassInfo {
 		{"unreachable-code", "no unreachable IR instructions"},
 		{"dead-store", "no stores to variables that are never subsequently read"},
 		{"monitor-reentrancy", "monitored operations do not self-invoke monitored operations (deadlock)"},
+		{"ptr-escape", "frame-local references captured into heap locations (fields, elements, results) outlive the activation"},
+		{"dead-ptr-at-stop", "pointer locals marshaled at in-loop bus stops that no path reads afterwards (needless swizzling)"},
+		{"immobile-reach", "process threads that can reach node-fixed objects (static placement constraint on group migration)"},
 	}
 }
 
 // checker carries the state of one vet run.
 type checker struct {
-	prog  *codegen.Program
-	specs map[arch.ID]*arch.Spec
-	diags []Diagnostic
+	prog    *codegen.Program
+	specs   map[arch.ID]*arch.Spec
+	diags   []Diagnostic
+	pta     *pta.Result
+	ptaDone bool
 }
 
 func newChecker(p *codegen.Program) *checker {
@@ -208,6 +248,7 @@ func (c *checker) checkObject(oc *codegen.ObjectCode) {
 		c.checkArch(oc, ac)
 	}
 	c.lintObject(oc)
+	c.ptaObject(oc)
 }
 
 // checkArch runs the per-architecture metadata passes over one object.

@@ -1,0 +1,74 @@
+// Command ptacheck pins the determinism of the points-to solver: for each
+// argument program it runs the full analysis several times and diffs the
+// rendered reports. The report is the contract emvet -graph exposes (and
+// the planned emauto batching will consume), so any map-iteration order
+// leaking into it must fail CI, not surface later as a flaky cohort list.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/types"
+	"repro/internal/pta"
+)
+
+func report(src string) (string, error) {
+	ast, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(ast)
+	if err != nil {
+		return "", fmt.Errorf("typecheck: %w", err)
+	}
+	r, err := pta.Analyze(ir.Build(info))
+	if err != nil {
+		return "", err
+	}
+	return r.Report(), nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ptacheck file.em...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptacheck:", err)
+			bad = true
+			continue
+		}
+		first, err := report(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptacheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		for i := 0; i < 4; i++ {
+			again, err := report(string(data))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptacheck: %s: re-solve: %v\n", path, err)
+				bad = true
+				break
+			}
+			if again != first {
+				fmt.Fprintf(os.Stderr, "ptacheck: %s: solve %d differs from solve 1:\n--- first\n%s--- again\n%s",
+					path, i+2, first, again)
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			fmt.Printf("ptacheck: %s: %d solves identical\n", path, 5)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
