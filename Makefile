@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke bench-baselines
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke
 
 build:
 	$(GO) build ./...
@@ -44,12 +44,27 @@ benchjson-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Adaptive placement: the policy study must reproduce its committed
+# BENCH_auto.json baseline (greedy-colocate collapsing remote traffic,
+# batched cohort moves costing fewer wire bytes per object than singles),
+# and the decision logs on the example corpus must match their goldens —
+# including load-balance deciding nothing on the pinned-journal workload.
+auto-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/embench -out .ci -baseline . auto > /dev/null
+	$(GO) run ./tools/jsoncheck .ci/BENCH_auto.json
+	$(GO) run ./cmd/emrun -auto greedy-colocate -auto-log examples/programs/zipf_hot.em 2> .ci/auto_greedy.log > /dev/null
+	cmp testdata/auto_greedy.golden .ci/auto_greedy.log
+	$(GO) run ./cmd/emrun -auto load-balance -auto-log examples/programs/fixed_pool.em 2> .ci/auto_lb.log > /dev/null
+	cmp testdata/auto_lb.golden .ci/auto_lb.log
+
 # Regenerate the committed BENCH_*.json baselines (run after a deliberate
 # model change, then commit the diff).
 bench-baselines:
 	$(GO) run ./cmd/embench table1 > /dev/null
 	$(GO) run ./cmd/embench fig2 > /dev/null
 	$(GO) run ./cmd/embench conv > /dev/null
+	$(GO) run ./cmd/embench auto > /dev/null
 
 # The kilroy tour under a seeded fault plan — 5% drops, duplicates,
 # delays, corruption and a mid-tour crash/restart of node 2 — must print

@@ -74,7 +74,25 @@ var subcommands = []struct {
 	{"conv", conv},
 	{"ablations", ablations},
 	{"par", par},
+	{"auto", autoStudy},
 	{"shrink", shrink},
+}
+
+// autoStudy runs the adaptive-placement policy table (see internal/exp
+// auto.go): four arms over one generated zipf workload, writing
+// BENCH_auto.json.
+func autoStudy(outDir string) error {
+	rows, desc, err := exp.AutoStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatAuto(rows, desc))
+	path, err := exp.WriteBenchJSON(outDir, "auto", exp.BenchAutoDoc(rows, desc))
+	if err != nil {
+		return err
+	}
+	wrote(path)
+	return checkBaseline(path)
 }
 
 func shrink(string) error {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	emrun [-net spec] [-mode enhanced|original|batched|fastpath]
-//	      [-chaos plan] [-parallel] [-trace] [-stats] file.em
+//	      [-chaos plan] [-parallel] [-auto policy] [-trace] [-stats] file.em
 //
 // The network spec is a comma-separated list of machine models, e.g.
 // "sparc,vax,sun3,hp1,hp2" (default: the paper's Figure 1 network
@@ -29,9 +29,12 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run each node on its own goroutine (identical results; see DESIGN.md §12)")
 	noSharpen := flag.Bool("nosharpen", false, "disable live-set sharpening (dead frame slots ship stale payload instead of canonical zero)")
 	chaosSpec := flag.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05,dup=0.02,crash=1@20000:50000 (see internal/chaos)")
+	autoPolicy := flag.String("auto", "", "adaptive placement policy: greedy-colocate or load-balance (sequential engine only)")
+	autoPeriod := flag.Int64("auto-period", 0, "placement tick period in simulated µs (0: kernel default)")
+	autoLog := flag.Bool("auto-log", false, "print the placement decision log after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-trace] [-stats] [-vetload] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-auto policy] [-trace] [-stats] [-vetload] file.em")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -49,7 +52,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(2)
 	}
-	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen}
+	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen,
+		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)
 		if err != nil {
@@ -76,6 +80,11 @@ func main() {
 	runErr := sys.Run()
 	for _, line := range sys.Lines() {
 		fmt.Println(line)
+	}
+	if *autoLog {
+		for _, l := range sys.AutoDecisionLog() {
+			fmt.Fprintln(os.Stderr, "auto:", l)
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "\nsimulated time: %.1f ms\n", sys.ElapsedMS())

@@ -1,0 +1,43 @@
+// A worker pool around a pinned resource: the Journal models a node-bound
+// device (a disk on node 0), fixed in place before any worker starts. The
+// immobile-reach analysis marks Journal pinned, so adaptive placement
+// (emrun -auto) will reshuffle the workers but never schedule the Journal.
+//   go run ./cmd/emrun examples/programs/fixed_pool.em
+//   go run ./cmd/emrun -auto load-balance examples/programs/fixed_pool.em
+object Journal
+  var entries: Int <- 0
+  operation record(x: Int) -> (seq: Int)
+    entries <- entries + 1
+    seq <- entries
+  end
+end Journal
+
+object Worker
+  var j: Journal
+  var id: Int
+  var jobs: Int
+  process
+    move self to node(id % nodes())
+    var last: Int <- 0
+    var i: Int <- 1
+    while i <= jobs do
+      last <- j.record(id * 100 + i)
+      i <- i + 1
+    end
+    print("worker ", id, " done, last journal seq=", last)
+  end process
+end Worker
+
+object Main
+  var j: Journal
+  initially
+    j <- new Journal
+  end initially
+  process
+    fix j at node(0)
+    var w1: Worker <- new Worker(j, 1, 6)
+    var w2: Worker <- new Worker(j, 2, 6)
+    var w3: Worker <- new Worker(j, 3, 6)
+    print("journal pinned at ", locate(j), ", distinct workers: ", w1 == w2, " ", w2 == w3)
+  end process
+end Main

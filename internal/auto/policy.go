@@ -1,0 +1,154 @@
+// The built-in placement policies. Both are deliberately simple: the point
+// of the subsystem is the layering (metrics -> policy -> batched mechanism),
+// and simple policies are auditable in the deterministic decision log.
+
+package auto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GreedyColocate moves an object to its dominant remote caller: whichever
+// node has generated the most remote invocations of the object since the
+// object was last (re)placed. Once co-located those calls become local and
+// stop feeding the remote metrics, so the policy is self-quenching.
+type GreedyColocate struct {
+	// MinCalls is the accumulated-traffic floor below which an object is
+	// left alone (noise gate).
+	MinCalls uint64
+	// MaxMoves bounds decisions per tick (anti-thrash).
+	MaxMoves int
+	// acc accumulates per-(object, caller) window traffic; an object's
+	// entries reset when the policy decides to move it.
+	acc map[objKey]uint64
+}
+
+// Name implements Policy.
+func (p *GreedyColocate) Name() string { return "greedy-colocate" }
+
+// Decide implements Policy: objects in ascending OID order, dominant caller
+// with ties to the lower node id.
+func (p *GreedyColocate) Decide(v View, d Delta) []Decision {
+	if p.acc == nil {
+		p.acc = map[objKey]uint64{}
+	}
+	for _, oc := range d.ObjCalls {
+		p.acc[objKey{oc.OID, oc.Src}] += oc.Count
+	}
+	byOID := make(map[uint32]ObjInfo, len(v.Objects))
+	for _, o := range v.Objects {
+		byOID[o.OID] = o
+	}
+	// Deterministic accumulator walk: sorted by (OID, Src).
+	keys := make([]objKey, 0, len(p.acc))
+	for k := range p.acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].oid != keys[j].oid {
+			return keys[i].oid < keys[j].oid
+		}
+		return keys[i].src < keys[j].src
+	})
+	type best struct {
+		src int
+		cnt uint64
+	}
+	dominant := map[uint32]best{}
+	var order []uint32
+	for _, k := range keys {
+		cur, ok := dominant[k.oid]
+		if !ok {
+			order = append(order, k.oid)
+		}
+		if c := p.acc[k]; c > cur.cnt { // strict: ties keep the lower src
+			dominant[k.oid] = best{src: k.src, cnt: c}
+		}
+	}
+	var out []Decision
+	for _, id := range order {
+		o, ok := byOID[id]
+		if !ok || o.Pinned {
+			continue
+		}
+		w := dominant[id]
+		if w.cnt < p.MinCalls || w.src == o.Node {
+			continue
+		}
+		out = append(out, Decision{
+			Obj: id, Class: o.Class, From: o.Node, To: w.src,
+			Why: fmt.Sprintf("%d remote calls from node%d since last placement", w.cnt, w.src),
+		})
+		// Reset the moved object's history: its new home starts clean.
+		for _, k := range keys {
+			if k.oid == id {
+				delete(p.acc, k)
+			}
+		}
+		if p.MaxMoves > 0 && len(out) >= p.MaxMoves {
+			break
+		}
+	}
+	return out
+}
+
+// LoadBalance watches per-node instruction pressure and sheds the busiest
+// node's hottest movable object to the idlest node when the imbalance
+// exceeds Ratio.
+type LoadBalance struct {
+	// MinInstrs is the window floor under which the hottest node does not
+	// count as hot at all.
+	MinInstrs uint64
+	// Ratio is the hot/cold instruction ratio that triggers a shed.
+	Ratio float64
+}
+
+// Name implements Policy.
+func (p *LoadBalance) Name() string { return "load-balance" }
+
+// Decide implements Policy: at most one shed per tick, hottest and coldest
+// nodes with ties to the lower node id, hottest object with ties to the
+// lower OID.
+func (p *LoadBalance) Decide(v View, d Delta) []Decision {
+	if v.Nodes < 2 || len(d.Instrs) < v.Nodes {
+		return nil
+	}
+	hot, cold := 0, 0
+	for i := 1; i < v.Nodes; i++ {
+		if d.Instrs[i] > d.Instrs[hot] {
+			hot = i
+		}
+		if d.Instrs[i] < d.Instrs[cold] {
+			cold = i
+		}
+	}
+	if hot == cold || d.Instrs[hot] < p.MinInstrs {
+		return nil
+	}
+	if float64(d.Instrs[hot]) < p.Ratio*float64(d.Instrs[cold]+1) {
+		return nil
+	}
+	calls := map[uint32]uint64{}
+	for _, oc := range d.ObjCalls {
+		calls[oc.OID] += oc.Count
+	}
+	bestOID, bestCnt, found := uint32(0), uint64(0), false
+	var bestObj ObjInfo
+	for _, o := range v.Objects { // scan order fixed by the kernel (OID asc)
+		if o.Node != hot || o.Pinned {
+			continue
+		}
+		if c := calls[o.OID]; !found || c > bestCnt {
+			found, bestOID, bestCnt, bestObj = true, o.OID, c, o
+		}
+	}
+	if !found {
+		return nil
+	}
+	return []Decision{{
+		Obj: bestOID, Class: bestObj.Class, From: hot, To: cold,
+		Why: fmt.Sprintf("node%d ran %d instrs vs node%d's %d this window",
+			hot, d.Instrs[hot], cold, d.Instrs[cold]),
+	}}
+}

@@ -1,0 +1,210 @@
+// Package workgen generates scaled Emerald-subset workloads for the
+// adaptive-placement experiments: K service objects (each with a helper
+// Stats object allocated in its initializer, so the points-to analysis sees
+// a {Service, Stats} group-migration cohort), and S simulated user sessions
+// with zipf-skewed object popularity. Sessions scatter themselves over the
+// cluster and issue their request streams as fully unrolled remote calls —
+// every sampled index is baked into the source at generation time, so a
+// given (Config, seed) always produces byte-identical source and therefore
+// a deterministic simulation.
+//
+// Closed-loop sessions issue each request after the previous one completes
+// (think: a user waiting on responses); open-loop sessions additionally
+// stagger their arrival with a seeded warmup spin, so request injection is
+// independent of service completion.
+package workgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Config shapes one generated workload.
+type Config struct {
+	// Seed drives every sampled quantity (zipf indices, argument values,
+	// warmup lengths).
+	Seed uint64
+	// Services is K, the number of Service instances.
+	Services int
+	// Sessions is S, the number of simulated user sessions (one generated
+	// object type each, so keep it modest).
+	Sessions int
+	// Requests is the per-session request count.
+	Requests int
+	// Theta is the zipf skew exponent (1.0–1.3 is web-like; higher skews
+	// harder toward the hot object).
+	Theta float64
+	// Nodes spreads services and session homes round-robin over this many
+	// nodes.
+	Nodes int
+	// Open staggers session arrivals with seeded warmup spins (open-loop);
+	// false is pure closed-loop.
+	Open bool
+}
+
+// Defaults fills zero fields with a small closed-loop workload.
+func (c Config) Defaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Services <= 0 {
+		c.Services = 4
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 3
+	}
+	if c.Requests <= 0 {
+		c.Requests = 24
+	}
+	if c.Theta == 0 {
+		c.Theta = 1.1
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	return c
+}
+
+// rng is the splitmix64 stream used across the repo's seeded components.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// zipf samples 0-based service ranks with P(rank i) proportional to
+// 1/(i+1)^theta via the precomputed CDF.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, theta float64) *zipf {
+	z := &zipf{cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func (z *zipf) sample(u float64) int {
+	for i, c := range z.cdf {
+		if u < c {
+			return i
+		}
+	}
+	return len(z.cdf) - 1
+}
+
+// Generate renders the workload as Emerald-subset source.
+func Generate(c Config) string {
+	c = c.Defaults()
+	r := &rng{state: c.Seed}
+	z := newZipf(c.Services, c.Theta)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated workload: %d services, %d sessions x %d requests,\n",
+		c.Services, c.Sessions, c.Requests)
+	loop := "closed"
+	if c.Open {
+		loop = "open"
+	}
+	fmt.Fprintf(&b, "// zipf theta=%.2f, %s-loop, seed=%d, %d nodes. Do not edit.\n\n",
+		c.Theta, loop, c.Seed, c.Nodes)
+
+	b.WriteString(`object Stats
+  var total: Int <- 0
+  var count: Int <- 0
+  operation note(x: Int)
+    total <- total + x
+    count <- count + 1
+  end
+end Stats
+
+object Service
+  var stats: Stats
+  operation work(x: Int) -> (r: Int)
+    stats.note(x)
+    r <- x * 2 + 1
+  end
+  initially
+    stats <- new Stats
+  end initially
+end Service
+
+`)
+
+	// svcList is the constructor argument list every session takes.
+	svcNames := make([]string, c.Services)
+	for i := range svcNames {
+		svcNames[i] = fmt.Sprintf("s%d", i)
+	}
+	svcList := strings.Join(svcNames, ", ")
+
+	for si := 0; si < c.Sessions; si++ {
+		fmt.Fprintf(&b, "object Sess%d\n", si)
+		for _, sv := range svcNames {
+			fmt.Fprintf(&b, "  var %s: Service\n", sv)
+		}
+		b.WriteString("  process\n")
+		home := si % c.Nodes
+		fmt.Fprintf(&b, "    var h: Int <- %d %% nodes()\n", home)
+		b.WriteString("    move self to node(h)\n")
+		b.WriteString("    var sum: Int <- 0\n")
+		if c.Open {
+			// Seeded arrival stagger: a spin proportional to the session's
+			// sampled offset, independent of any service's progress.
+			warm := 50 + int(r.next()%uint64(400*(si+1)))
+			fmt.Fprintf(&b, "    var w: Int <- 0\n")
+			fmt.Fprintf(&b, "    while w < %d do\n      w <- w + 1\n    end\n", warm)
+		}
+		expect := 0
+		for q := 0; q < c.Requests; q++ {
+			// Per-session affinity: rotate the zipf ranking so each session's
+			// hot service is its own rank-0 pick — the per-user working set
+			// that gives a colocation policy something to exploit.
+			target := (si + z.sample(r.float())) % c.Services
+			x := 1 + int(r.next()%97)
+			expect += x*2 + 1
+			fmt.Fprintf(&b, "    sum <- sum + s%d.work(%d)\n", target, x)
+		}
+		fmt.Fprintf(&b, "    print(\"sess%d done sum=\", sum, \" expect=%d\")\n", si, expect)
+		b.WriteString("  end process\n")
+		fmt.Fprintf(&b, "end Sess%d\n\n", si)
+	}
+
+	b.WriteString("object Main\n")
+	for _, sv := range svcNames {
+		fmt.Fprintf(&b, "  var %s: Service\n", sv)
+	}
+	b.WriteString("  initially\n")
+	for _, sv := range svcNames {
+		fmt.Fprintf(&b, "    %s <- new Service\n", sv)
+	}
+	b.WriteString("  end initially\n  process\n")
+	for i, sv := range svcNames {
+		// Deliberately offset from the session homes (si % Nodes): the
+		// initial placement is wrong for everyone, so adaptive policies have
+		// real cross-node traffic to collapse.
+		fmt.Fprintf(&b, "    var h%d: Int <- %d %% nodes()\n", i, (i+1)%c.Nodes)
+		fmt.Fprintf(&b, "    move %s to node(h%d)\n", sv, i)
+	}
+	for si := 0; si < c.Sessions; si++ {
+		fmt.Fprintf(&b, "    var t%d: Sess%d <- new Sess%d(%s)\n", si, si, si, svcList)
+	}
+	fmt.Fprintf(&b, "    print(\"workload up: %d services, %d sessions\")\n",
+		c.Services, c.Sessions)
+	b.WriteString("  end process\nend Main\n")
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package workgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateDeterministic: same config, byte-identical source; different
+// seed, different request stream.
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{Seed: 7, Services: 4, Sessions: 3, Requests: 24, Nodes: 4}
+	a, b := Generate(c), Generate(c)
+	if a != b {
+		t.Fatal("same config generated different source")
+	}
+	c2 := c
+	c2.Seed = 8
+	if Generate(c2) == a {
+		t.Fatal("different seed generated identical source")
+	}
+}
+
+// TestGenerateShape: the rendered program has one session type per session,
+// the right number of unrolled requests, and a precomputed expect total for
+// the location-independent output check.
+func TestGenerateShape(t *testing.T) {
+	src := Generate(Config{Seed: 3, Services: 2, Sessions: 2, Requests: 5, Nodes: 2})
+	for _, want := range []string{"object Service", "object Stats", "object Sess0", "object Sess1", "object Main"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	if got := strings.Count(src, ".work("); got != 2*5 {
+		t.Errorf("unrolled %d requests, want %d", got, 2*5)
+	}
+	if !strings.Contains(src, "expect=") {
+		t.Error("sessions carry no precomputed expect total")
+	}
+	// Open-loop adds the seeded warmup spin.
+	open := Generate(Config{Seed: 3, Services: 2, Sessions: 2, Requests: 5, Nodes: 2, Open: true})
+	if !strings.Contains(open, "while w <") {
+		t.Error("open-loop source has no warmup spin")
+	}
+}

@@ -1,0 +1,83 @@
+// Static placement facts for the adaptive-placement subsystem: core runs
+// the points-to analysis over the compiled program and translates its
+// site-labelled results (cohorts, immobile reach) into the class-name lists
+// the kernel's policy driver consumes — the kernel itself stays free of any
+// pta dependency.
+
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/pta"
+)
+
+// AutoFacts computes the class-name group-migration cohorts and the pinned
+// class list for prog. Cohorts come from pta's per-allocation-site closure,
+// collapsed from site labels ("Func@PC new Type") to distinct type-name
+// sets; sets with fewer than two classes batch nothing and are dropped, as
+// are duplicates. Pinned classes come from the immobile-reach analysis:
+// any class a fix statement can reach must never be scheduled by a policy.
+func AutoFacts(prog *codegen.Program) (cohorts [][]string, pinned []string, err error) {
+	irp := &ir.Program{Objects: make([]*ir.Object, len(prog.Objects))}
+	for i, oc := range prog.Objects {
+		irp.Objects[i] = oc.IR
+	}
+	res, err := pta.Analyze(irp)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	seen := map[string]bool{}
+	for _, c := range res.Cohorts() {
+		set := map[string]bool{}
+		for _, m := range c.Members {
+			// Member labels have the stable form "Func@PC new TypeName".
+			if i := strings.Index(m, " new "); i >= 0 {
+				set[m[i+len(" new "):]] = true
+			}
+		}
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if len(names) < 2 {
+			continue
+		}
+		key := strings.Join(names, "|")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cohorts = append(cohorts, names)
+	}
+
+	pinSet := map[string]bool{}
+	for _, oc := range prog.Objects {
+		// Entries have the form "T1/T2 (fixed at fn@pc, ...)".
+		for _, entry := range res.ProcessPinnedReach(oc.Name) {
+			head := entry
+			if i := strings.Index(head, " ("); i >= 0 {
+				head = head[:i]
+			}
+			for _, cls := range strings.Split(head, "/") {
+				if cls != "" {
+					pinSet[cls] = true
+				}
+			}
+		}
+	}
+	for n := range pinSet {
+		pinned = append(pinned, n)
+	}
+	sort.Strings(pinned)
+	return cohorts, pinned, nil
+}
+
+// AutoDecisionLog returns the run's placement decision log (empty when no
+// policy was armed).
+func (s *System) AutoDecisionLog() []string { return s.Cluster.AutoDecisionLog() }

@@ -109,6 +109,19 @@ type Options struct {
 	// results (printed output, faults, events, spans, metrics, simulated
 	// time) are identical to the sequential engine; see DESIGN.md §12.
 	Parallel bool
+	// AutoPolicy arms the adaptive-placement subsystem (internal/auto)
+	// with the named policy (see auto.Names). The static facts the policy
+	// needs — group-migration cohorts and immobile-reach pinned classes —
+	// are computed here with internal/pta and handed to the kernel as
+	// class-name lists. Placement requires the sequential engine: the
+	// policy tick is a cluster-level simulation event.
+	AutoPolicy string
+	// AutoPeriodMicros overrides the policy tick period (0: the kernel
+	// default).
+	AutoPeriodMicros int64
+	// AutoNoBatch disables cohort batching: each placement decision moves
+	// only the named object (the control arm of the batching experiment).
+	AutoNoBatch bool
 	// NoSharpen disables live-set sharpening (Config.SharpenLiveSets):
 	// statically dead frame slots then ship their stale payload instead of
 	// the canonical zero. Observable behavior is identical either way; the
@@ -192,6 +205,20 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.LegacyDispatch = opts.LegacyDispatch
 	cfg.Chaos = opts.Chaos
 	cfg.SharpenLiveSets = !opts.NoSharpen
+	if opts.AutoPolicy != "" {
+		if opts.Parallel {
+			return nil, fmt.Errorf("core: adaptive placement (-auto) requires the sequential engine")
+		}
+		cohorts, pinned, err := AutoFacts(prog)
+		if err != nil {
+			return nil, fmt.Errorf("core: placement analysis: %w", err)
+		}
+		cfg.AutoPolicy = opts.AutoPolicy
+		cfg.AutoPeriodMicros = opts.AutoPeriodMicros
+		cfg.AutoNoBatch = opts.AutoNoBatch
+		cfg.AutoCohorts = cohorts
+		cfg.AutoPinned = pinned
+	}
 	cl, err := kernel.NewCluster(prog, machines, cfg)
 	if err != nil {
 		return nil, err

@@ -125,6 +125,16 @@ func (n *Node) invokeRemote(f *Frag, recv *Obj, opName string, args []uint32) {
 		B: uint64(recv.LastKnown), Str: opName})
 	n.cluster.Rec.Metrics().Add("remote_invokes",
 		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	if n.cluster.autoOn {
+		// Per-link and per-object traffic for the placement policies: which
+		// (src,dst) pairs are chatty, and which objects the traffic is about.
+		// Recorded only when a policy is armed so policy-disabled runs keep
+		// byte-identical metric snapshots.
+		n.cluster.Rec.Metrics().Add("invoke_link",
+			fmt.Sprintf("src=%d,dst=%d", n.ID, recv.LastKnown), 1)
+		n.cluster.Rec.Metrics().Add("invoke_obj",
+			fmt.Sprintf("oid=%d,src=%d", uint32(recv.OID), n.ID), 1)
+	}
 	n.sendMsg(recv.LastKnown, &wire.Invoke{
 		Target:     recv.OID,
 		OpName:     opName,
@@ -232,6 +242,8 @@ func (n *Node) handleMsg(src int, p wire.Payload) {
 		n.recvMoveReq(src, p)
 	case *wire.Move:
 		n.recvMove(src, p)
+	case *wire.MoveGroup:
+		n.recvMoveGroup(src, p)
 	case *wire.UnfixReq:
 		n.recvUnfixReq(src, p)
 	case *wire.MoveAck:

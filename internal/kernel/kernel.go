@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/auto"
 	"repro/internal/chaos"
 	"repro/internal/codegen"
 	"repro/internal/codesrv"
@@ -140,6 +141,28 @@ type Config struct {
 	// and heartbeat-based crash suspicion. When nil (the default) the wire
 	// format and event stream are byte-identical to previous releases.
 	Chaos *chaos.Plan
+	// AutoPolicy, when non-empty, arms the adaptive-placement subsystem
+	// (internal/auto) with the named policy: the cluster periodically builds
+	// a metrics view, asks the policy for placement decisions, and executes
+	// them as (batched cohort) migrations. Empty keeps the engine byte-
+	// identical to a policy-free build — no extra metrics, events or
+	// timers. Placement runs on the sequential engine only (the tick is a
+	// cluster-level simulation event).
+	AutoPolicy string
+	// AutoPeriodMicros is the policy tick period (0 selects
+	// DefaultAutoPeriodMicros).
+	AutoPeriodMicros int64
+	// AutoCohorts are class-name groups that migrate together, computed by
+	// internal/pta group-cohort analysis (core translates site labels to
+	// class names so the kernel needs no pta dependency).
+	AutoCohorts [][]string
+	// AutoPinned are class names the policy must never schedule (the
+	// immobile-reach pinned constraint from internal/pta).
+	AutoPinned []string
+	// AutoNoBatch makes each policy decision move only the named object
+	// instead of its whole cohort in one batched transfer. Escape hatch and
+	// the control arm of the batching experiment (embench auto).
+	AutoNoBatch bool
 	// SharpenLiveSets uses the per-stop LiveVars masks the compiler embeds
 	// in bus-stop tables to canonicalize statically dead int/real frame
 	// slots (substituting the canonical zero word) while marshalling. The
@@ -200,6 +223,13 @@ type Cluster struct {
 	// and faults shard into per-node logs (merged afterwards) instead of
 	// appending to the shared slices above.
 	parallel bool
+
+	// Adaptive-placement state (see auto.go); autoOn gates the policy-feed
+	// metrics so policy-disabled runs stay byte-identical.
+	autoOn     bool
+	autoEng    *auto.Engine
+	autoCohort map[string]map[string]bool
+	autoPinned map[string]bool
 }
 
 // NewCluster builds a cluster of the given machine models. In ModeOriginal
@@ -236,6 +266,11 @@ func NewCluster(prog *codegen.Program, models []netsim.MachineModel, cfg Config)
 	}
 	if cfg.Chaos != nil {
 		if err := c.armChaos(cfg.Chaos); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.AutoPolicy != "" {
+		if err := c.armAuto(); err != nil {
 			return nil, err
 		}
 	}

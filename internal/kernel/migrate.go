@@ -243,20 +243,15 @@ func (n *Node) moveArray(o *Obj, dest int, fix bool) {
 	n.chargeConv(conv, prev)
 	o.Epoch++
 	n.finishMoveOut(sp, o, dest, conv, prev)
-	bytes, sendAt := n.sendMsgAck(dest, &wire.Move{
+	n.dispatchMove(dest, &wire.Move{
 		Object: o.OID, IsArray: true, ArrayElemKind: byte(o.ElemKind),
 		Epoch: o.Epoch, Data: data, Fixed: fix, Hints: n.collectHints(data),
 		SpanID: sp.ID,
-	}, func() { tx.delivered = true })
-	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
-	tx.do(func() {
+	}, tx, sp, func() {
 		o.Resident = false
 		o.LastKnown = dest
 		n.Migrations++
 	})
-	if tx.live {
-		n.beginTransit(tx, sp.ID)
-	}
 }
 
 // moveImmutable duplicates an immutable object: the destination gets a
@@ -535,21 +530,16 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 	msg.Hints = n.collectHints(refs)
 	n.chargeConv(conv, prev)
 	n.finishMoveOut(sp, o, dest, conv, prev)
-	bytes, sendAt := n.sendMsgAck(dest, msg, func() { tx.delivered = true })
-	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 
 	// The object becomes a remote proxy here; stale machine addresses keep
 	// resolving to it through byAddr. Under chaos this is the final commit
 	// operation: the object stays resident until the destination acks.
-	tx.do(func() {
+	n.dispatchMove(dest, msg, tx, sp, func() {
 		o.Resident = false
 		o.LastKnown = dest
 		o.Mon = nil
 		n.Migrations++
 	})
-	if tx.live {
-		n.beginTransit(tx, sp.ID)
-	}
 }
 
 func mustPiece(m map[*Frag]uint32, f *Frag, what string) uint32 {

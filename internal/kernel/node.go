@@ -87,6 +87,10 @@ type Node struct {
 	// pendingMoves are migrations deferred because an activation was part
 	// of an active object-creation chain.
 	pendingMoves []pendingMove
+	// collect, while non-nil, redirects dispatchMove's sends into a group
+	// collector so a whole cohort rides one batched MoveGroup frame (see
+	// group.go).
+	collect *moveCollector
 
 	// Crash-tolerance state, live only under a chaos plan (Config.Chaos).
 	// Up is the fail-stop flag: a crashed node neither runs nor receives.
@@ -727,6 +731,10 @@ func (n *Node) deliverInner(src int, buf []byte) {
 		A: uint64(len(buf)), B: uint64(src), Str: m.Payload.Kind().String()})
 	if mv, ok := m.Payload.(*wire.Move); ok {
 		n.cluster.Rec.SpanArrived(mv.SpanID, int64(n.now()))
+	} else if mg, ok := m.Payload.(*wire.MoveGroup); ok {
+		for _, im := range mg.Inner {
+			n.cluster.Rec.SpanArrived(im.SpanID, int64(n.now()))
+		}
 	}
 	n.handleMsg(int(m.Src), m.Payload)
 }

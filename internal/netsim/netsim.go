@@ -312,15 +312,15 @@ type Network struct {
 	// network's utilization clock).
 	BusyMicros Micros
 
-	// freeBufs recycles delivery buffers by power-of-two size class.
-	// Send copies each payload into a scratch buffer (senders may reuse
-	// their marshal buffer immediately), and deliver returns the scratch
-	// to the freelist after the handler runs — handlers fully consume the
-	// frame synchronously — so steady-state traffic does not allocate per
-	// frame. The freelist is only touched by the sequential engine (one
-	// goroutine); the parallel engine allocates plain buffers instead of
-	// sharing a freelist across node goroutines.
-	freeBufs [bufNumClasses][][]byte
+	// bufs recycles delivery buffers by power-of-two size class. Send
+	// copies each payload into a scratch buffer (senders may reuse their
+	// marshal buffer immediately), and deliver returns the scratch to the
+	// freelist after the handler runs — handlers fully consume the frame
+	// synchronously — so steady-state traffic does not allocate per frame.
+	// This pool is only touched by the sequential engine (one goroutine);
+	// the parallel engine gives each node runner its own bufPool instead
+	// of sharing one across goroutines (see par.go).
+	bufs bufPool
 }
 
 const (
@@ -329,25 +329,34 @@ const (
 	bufClassKeep    = 32 // retained scratch buffers per class
 )
 
-// grabBuf returns a scratch buffer holding a copy of payload. Each call
+// bufPool is a size-classed freelist of delivery scratch buffers. It is
+// not safe for concurrent use: every pool is owned by exactly one event
+// loop (the sequential engine's, or one parallel node runner's), and a
+// buffer may migrate between pools only through an ordered hand-off (a
+// frame in flight, released into its destination's pool).
+type bufPool struct {
+	free [bufNumClasses][][]byte
+}
+
+// grab returns a scratch buffer holding a copy of payload. Each call
 // returns a distinct buffer — a duplicated frame must never alias its
 // primary copy, or the first delivery's release would hand the second
 // delivery's bytes back to the pool while still in flight.
-func (n *Network) grabBuf(payload []byte) []byte {
+func (p *bufPool) grab(payload []byte) []byte {
 	c := 0
 	for c < bufNumClasses-1 && 1<<(bufMinClassBits+c) < len(payload) {
 		c++
 	}
-	if s := n.freeBufs[c]; len(s) > 0 {
+	if s := p.free[c]; len(s) > 0 {
 		b := s[len(s)-1]
-		n.freeBufs[c] = s[:len(s)-1]
+		p.free[c] = s[:len(s)-1]
 		return append(b[:0], payload...)
 	}
 	return append(make([]byte, 0, 1<<(bufMinClassBits+c)), payload...)
 }
 
-// releaseBuf returns a delivery buffer to its size-class freelist.
-func (n *Network) releaseBuf(buf []byte) {
+// release returns a delivery buffer to its size-class freelist.
+func (p *bufPool) release(buf []byte) {
 	if cap(buf) < 1<<bufMinClassBits {
 		return
 	}
@@ -355,10 +364,14 @@ func (n *Network) releaseBuf(buf []byte) {
 	for c < bufNumClasses-1 && cap(buf) >= 1<<(bufMinClassBits+c+1) {
 		c++
 	}
-	if len(n.freeBufs[c]) < bufClassKeep {
-		n.freeBufs[c] = append(n.freeBufs[c], buf)
+	if len(p.free[c]) < bufClassKeep {
+		p.free[c] = append(p.free[c], buf)
 	}
 }
+
+// grabBuf and releaseBuf are the sequential engine's pool accessors.
+func (n *Network) grabBuf(payload []byte) []byte { return n.bufs.grab(payload) }
+func (n *Network) releaseBuf(buf []byte)         { n.bufs.release(buf) }
 
 // Verdict is a fault-injection decision for one frame in flight. The zero
 // Verdict delivers the frame normally.

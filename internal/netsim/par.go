@@ -59,6 +59,14 @@ type nodeRunner struct {
 	ran    uint64
 	sends  uint64 // per-src send index
 	reqs   []sendReq
+	// pool recycles delivery buffers, touched only by this runner's
+	// goroutine: sends grab from the sending runner's pool, and the
+	// delivery closure releases into the destination runner's pool after
+	// the handler runs. Buffers therefore migrate along traffic — a
+	// request/response exchange refills both ends — and steady-state
+	// parallel traffic allocates no per-frame buffers, matching the
+	// sequential engine's pooling.
+	pool bufPool
 
 	start chan Micros // window end; closing it stops the goroutine
 	done  chan struct{}
@@ -126,8 +134,8 @@ type parRun struct {
 // sendParallel is Network.Send on a sending node's goroutine: compute
 // everything link-local now (frame size, observer event, fault verdict,
 // payload copies), defer only the shared-medium arbitration to the
-// barrier. Buffers are plain allocations — the sequential engine's
-// freelist is not shared across goroutines.
+// barrier. Payload copies come from the sending runner's own buffer pool
+// (never the sequential engine's — pools are single-goroutine).
 func (n *Network) sendParallel(p *parRun, src, dst int, payload []byte, earliest Micros) error {
 	if src < 0 || src >= len(p.runners) {
 		return fmt.Errorf("netsim: parallel send from unknown node %d", src)
@@ -148,11 +156,13 @@ func (n *Network) sendParallel(p *parRun, src, dst int, payload []byte, earliest
 	}
 	r.sends++
 	if !v.Drop {
-		req.buf = append(make([]byte, 0, len(payload)), payload...)
+		req.buf = r.pool.grab(payload)
 		corrupt(req.buf, v)
 	}
 	if v.Dup {
-		req.dupBuf = append(make([]byte, 0, len(payload)), payload...)
+		// Distinct grab: the duplicate must never alias the primary copy
+		// (each is released independently at the destination).
+		req.dupBuf = r.pool.grab(payload)
 	}
 	r.reqs = append(r.reqs, req)
 	return nil
@@ -200,8 +210,9 @@ func (p *parRun) flushSends() {
 
 // insertDelivery queues a frame arrival on the destination runner. The
 // closure mirrors the sequential deliver: a down destination discards the
-// frame. No buffer pooling — buf is a plain allocation owned by the
-// delivery.
+// frame. Either way the scratch buffer is released into the destination
+// runner's pool — the closure runs on that runner's goroutine, so the
+// single-owner rule holds even though the buffer was grabbed by the sender.
 func (p *parRun) insertDelivery(src, dst int, at Micros, buf []byte) {
 	r := p.runners[dst]
 	if at < r.now {
@@ -218,9 +229,11 @@ func (p *parRun) insertDelivery(src, dst int, at Micros, buf []byte) {
 			if n.OnLost != nil {
 				n.OnLost(r.now, src, dst)
 			}
+			r.pool.release(buf)
 			return
 		}
 		h(src, buf)
+		r.pool.release(buf)
 	}})
 }
 

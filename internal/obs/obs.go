@@ -98,6 +98,17 @@ const (
 	// EvLinkDrop: Node discarded an undeliverable or unusable frame from
 	// node B (Str is the reason, e.g. crc/down).
 	EvLinkDrop
+	// EvMoveGroupOut: Node sent a batched cohort move of A objects to node
+	// B in one frame (span Span is the first member's span; Str labels the
+	// cohort).
+	EvMoveGroupOut
+	// EvMoveGroupIn: Node finished installing a batched cohort move of A
+	// objects from node B (span Span is the first member's span).
+	EvMoveGroupIn
+	// EvAutoDecision: the placement policy Str decided to move object Obj
+	// (named by the decision text in Str) to node B; A is the decision
+	// index within the tick.
+	EvAutoDecision
 )
 
 func (k Kind) String() string {
@@ -156,6 +167,12 @@ func (k Kind) String() string {
 		return "node-recover"
 	case EvLinkDrop:
 		return "link-drop"
+	case EvMoveGroupOut:
+		return "move-group-out"
+	case EvMoveGroupIn:
+		return "move-group-in"
+	case EvAutoDecision:
+		return "auto-decision"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -235,6 +252,12 @@ func (e Event) Text() string {
 		return fmt.Sprintf("node%d heard from node%d again", e.Node, e.B)
 	case EvLinkDrop:
 		return fmt.Sprintf("node%d dropped frame from node%d (%s)", e.Node, e.B, e.Str)
+	case EvMoveGroupOut:
+		return fmt.Sprintf("node%d move-group-out %d objects -> node%d (span %d)", e.Node, e.A, e.B, e.Span)
+	case EvMoveGroupIn:
+		return fmt.Sprintf("node%d move-group-in %d objects <- node%d (span %d)", e.Node, e.A, e.B, e.Span)
+	case EvAutoDecision:
+		return fmt.Sprintf("node%d auto-decision #%d: %s -> node%d", e.Node, e.A, e.Str, e.B)
 	}
 	return fmt.Sprintf("node%d %s", e.Node, e.Kind)
 }

@@ -27,10 +27,15 @@ func compile(t *testing.T, src string) *codegen.Program {
 }
 
 // mustClean asserts a program has no findings at all.
+// mustClean matches the emvet CLI's default bar: warnings and errors fail,
+// info-severity findings (e.g. immobile-reach notes on examples that use
+// fix deliberately) do not.
 func mustClean(t *testing.T, prog *codegen.Program) {
 	t.Helper()
 	for _, d := range vet.Check(prog) {
-		t.Errorf("unexpected diagnostic: %s", d)
+		if d.Sev >= vet.SevWarning {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
 	}
 }
 

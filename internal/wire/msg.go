@@ -165,6 +165,7 @@ const (
 	minHintBytes     = 8  // OID + node
 	minFragmentBytes = 18 // fixed Fragment header
 	minActBytes      = 12 // fixed MIActivation header
+	minMoveBytes     = 32 // fixed Move header (all counts empty)
 )
 
 // Values reads a counted list of values (nil for an empty list, matching
@@ -214,6 +215,7 @@ const (
 	MUpdateLoc                      // forwarding hint: OID now lives at node
 	MUnfixReq                       // unfix/refix control for a remote object
 	MMoveAck                        // destination's install ack for a Move (2PC)
+	MMoveGroup                      // batched cohort move: several Moves in one frame
 )
 
 func (k MsgKind) String() string {
@@ -236,6 +238,8 @@ func (k MsgKind) String() string {
 		return "unfixreq"
 	case MMoveAck:
 		return "moveack"
+	case MMoveGroup:
+		return "movegroup"
 	}
 	return fmt.Sprintf("msg(%d)", byte(k))
 }
@@ -322,6 +326,10 @@ func Unmarshal(buf []byte) (*Msg, error) {
 		m.Payload = p
 	case MMoveAck:
 		p := &MoveAck{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MMoveGroup:
+		p := &MoveGroup{}
 		p.unmarshal(&d)
 		m.Payload = p
 	default:
@@ -808,6 +816,50 @@ func (p *MoveAck) unmarshal(d *Dec) {
 	p.Epoch = d.U32()
 	p.Ok = d.U8() != 0
 	p.Err = string(d.Str())
+}
+
+// MoveGroup carries a whole migration cohort — several Moves bound for one
+// destination — in a single protocol message, so the group pays the
+// per-frame wire overhead and the per-message protocol-stack charge once.
+// Each inner Move keeps its own span and epoch and is installed (and
+// MoveAck'd) individually at the destination, so the two-phase commit and
+// its exactly-once guarantees are unchanged per object.
+type MoveGroup struct {
+	Inner []*Move
+}
+
+// Kind implements Payload.
+func (p *MoveGroup) Kind() MsgKind { return MMoveGroup }
+
+func (p *MoveGroup) marshal(e *Enc) {
+	e.U16(uint16(len(p.Inner)))
+	for _, m := range p.Inner {
+		m.marshal(e)
+	}
+}
+
+func (p *MoveGroup) unmarshal(d *Dec) {
+	n := d.Count(minMoveBytes)
+	for i := 0; i < n; i++ {
+		m := &Move{}
+		m.unmarshal(d)
+		if d.Err() != nil {
+			return
+		}
+		p.Inner = append(p.Inner, m)
+	}
+}
+
+// PayloadSize returns the encoded size of p alone (without the Msg
+// header), using a pooled encoder. The batched move path uses it to
+// attribute each inner object's share of a group frame.
+func PayloadSize(p Payload) int {
+	e := GetEnc(256)
+	e.buf = e.buf[:0]
+	p.marshal(e)
+	n := e.Len()
+	e.Release()
+	return n
 }
 
 // ErrTruncated is returned for short buffers.
