@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke bench-baselines
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,21 @@ auto-smoke:
 	$(GO) run ./cmd/emrun -auto load-balance -auto-log examples/programs/fixed_pool.em 2> .ci/auto_lb.log > /dev/null
 	cmp testdata/auto_lb.golden .ci/auto_lb.log
 
+# The kilroy tour with the replicated directory armed must print exactly
+# what the directory-off run prints — clean and under the chaos-smoke
+# fault plan — and the directory overhead study must match its committed
+# baseline.
+dir-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/emrun examples/programs/kilroy.em > .ci/kilroy_dir_off.out
+	$(GO) run ./cmd/emrun -dir 3 examples/programs/kilroy.em > .ci/kilroy_dir_on.out
+	cmp .ci/kilroy_dir_off.out .ci/kilroy_dir_on.out
+	$(GO) run ./cmd/emrun -dir 3 -chaos 'seed=7,drop=0.05,dup=0.03,delay=0.05:500us,corrupt=0.02,crash=2@76ms:156ms' \
+		examples/programs/kilroy.em > .ci/kilroy_dir_chaos.out
+	cmp .ci/kilroy_dir_off.out .ci/kilroy_dir_chaos.out
+	$(GO) run ./cmd/embench -out .ci -baseline . dir > /dev/null
+	$(GO) run ./tools/jsoncheck .ci/BENCH_dir.json
+
 # Regenerate the committed BENCH_*.json baselines (run after a deliberate
 # model change, then commit the diff).
 bench-baselines:
@@ -65,6 +80,7 @@ bench-baselines:
 	$(GO) run ./cmd/embench fig2 > /dev/null
 	$(GO) run ./cmd/embench conv > /dev/null
 	$(GO) run ./cmd/embench auto > /dev/null
+	$(GO) run ./cmd/embench dir > /dev/null
 
 # The kilroy tour under a seeded fault plan — 5% drops, duplicates,
 # delays, corruption and a mid-tour crash/restart of node 2 — must print

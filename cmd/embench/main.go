@@ -75,6 +75,7 @@ var subcommands = []struct {
 	{"ablations", ablations},
 	{"par", par},
 	{"auto", autoStudy},
+	{"dir", dirStudy},
 	{"shrink", shrink},
 }
 
@@ -88,6 +89,23 @@ func autoStudy(outDir string) error {
 	}
 	fmt.Print(exp.FormatAuto(rows, desc))
 	path, err := exp.WriteBenchJSON(outDir, "auto", exp.BenchAutoDoc(rows, desc))
+	if err != nil {
+		return err
+	}
+	wrote(path)
+	return checkBaseline(path)
+}
+
+// dirStudy runs the replicated-directory overhead table (see internal/exp
+// dir.go): directory off/on, clean and under a replica crash/restart,
+// writing BENCH_dir.json.
+func dirStudy(outDir string) error {
+	rows, desc, err := exp.DirStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatDir(rows, desc))
+	path, err := exp.WriteBenchJSON(outDir, "dir", exp.BenchDirDoc(rows, desc))
 	if err != nil {
 		return err
 	}

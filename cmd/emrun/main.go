@@ -4,7 +4,7 @@
 // Usage:
 //
 //	emrun [-net spec] [-mode enhanced|original|batched|fastpath]
-//	      [-chaos plan] [-parallel] [-auto policy] [-trace] [-stats] file.em
+//	      [-chaos plan] [-parallel] [-auto policy] [-dir n] [-trace] [-stats] file.em
 //
 // The network spec is a comma-separated list of machine models, e.g.
 // "sparc,vax,sun3,hp1,hp2" (default: the paper's Figure 1 network
@@ -32,9 +32,10 @@ func main() {
 	autoPolicy := flag.String("auto", "", "adaptive placement policy: greedy-colocate or load-balance (sequential engine only)")
 	autoPeriod := flag.Int64("auto-period", 0, "placement tick period in simulated µs (0: kernel default)")
 	autoLog := flag.Bool("auto-log", false, "print the placement decision log after the run")
+	dirReplicas := flag.Int("dir", 0, "arm the replicated object directory with N replicas per shard (0: off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-auto policy] [-trace] [-stats] [-vetload] file.em")
+		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-auto policy] [-dir n] [-trace] [-stats] [-vetload] file.em")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -53,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen,
-		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod}
+		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod, DirReplicas: *dirReplicas}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)
 		if err != nil {

@@ -127,6 +127,14 @@ type Options struct {
 	// the canonical zero. Observable behavior is identical either way; the
 	// flag exists as the escape hatch and for the differential tests.
 	NoSharpen bool
+	// DirReplicas arms the replicated object directory (internal/dir) with
+	// this many replicas per shard (clamped to the node count). 0 — the
+	// default — leaves the directory off and every run byte-identical to
+	// the pre-directory kernel.
+	DirReplicas int
+	// DirCompactPeriodMicros overrides the directory compactor tick period
+	// (0: the kernel default).
+	DirCompactPeriodMicros int64
 }
 
 // System is a compiled program loaded on a simulated network.
@@ -205,6 +213,8 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.LegacyDispatch = opts.LegacyDispatch
 	cfg.Chaos = opts.Chaos
 	cfg.SharpenLiveSets = !opts.NoSharpen
+	cfg.DirReplicas = opts.DirReplicas
+	cfg.DirCompactPeriodMicros = opts.DirCompactPeriodMicros
 	if opts.AutoPolicy != "" {
 		if opts.Parallel {
 			return nil, fmt.Errorf("core: adaptive placement (-auto) requires the sequential engine")

@@ -1,0 +1,297 @@
+// Package dir implements the replicated object-location directory (emdir).
+//
+// The paper's kernels locate objects by chasing forwarding addresses left
+// behind by moves (§4.3); a crash in the middle of a chain orphans every
+// proxy pointing through the dead node. emdir replaces the chain as the
+// primary location mechanism with sharded ownership records — OID → (home
+// node, epoch) — replicated across a small replica set and updated by one
+// single-decree Paxos round per move commit. Each move of an object is its
+// own consensus instance, keyed by the (oid, epoch) slot the move's epoch
+// bump created, so decrees from different moves never collide and a decree
+// is immutable once chosen. After a crash/restart a locate is one shard
+// query instead of a forwarding-address walk; the chase survives only as
+// the degraded-mode fallback.
+//
+// This package holds the pure protocol state machines — acceptor, learner
+// store, proposer — with no I/O and no time: the kernel drives message
+// exchange over the simulated network (internal/kernel/dir.go) so directory
+// traffic is charged and fault-injected like any other kernel traffic. The
+// protocol shape follows the classic single-decree synod (cf. the paxos lab
+// exemplar named in ROADMAP.md): prepare/promise, accept/accepted, learn.
+package dir
+
+import (
+	"sort"
+
+	"repro/internal/oid"
+)
+
+// Config sizes the directory.
+type Config struct {
+	// Replicas is the replica-set size per shard (clamped to node count).
+	Replicas int
+	// Shards is the number of shards; records hash to shards by OID.
+	Shards int
+}
+
+// Normalize clamps the configuration to a cluster of n nodes: at least one
+// replica, no more replicas than nodes, and one shard per node by default.
+func (c Config) Normalize(n int) Config {
+	if c.Shards <= 0 {
+		c.Shards = n
+	}
+	if c.Shards > n {
+		c.Shards = n
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > n {
+		c.Replicas = n
+	}
+	return c
+}
+
+// Quorum is the majority size of a replica set.
+func (c Config) Quorum() int { return c.Replicas/2 + 1 }
+
+// ShardOf maps an OID to its shard.
+func ShardOf(o oid.OID, shards int) int {
+	return int(uint32(o) % uint32(shards))
+}
+
+// ReplicaSet returns the (sorted) node IDs replicating a shard: the
+// consecutive run of nodes starting at the shard index, wrapping mod n.
+func ReplicaSet(shard, replicas, nodes int) []int {
+	if replicas > nodes {
+		replicas = nodes
+	}
+	set := make([]int, replicas)
+	for i := range set {
+		set[i] = (shard + i) % nodes
+	}
+	sort.Ints(set)
+	return set
+}
+
+// Slot names one consensus instance: the decree that object o's move to
+// epoch e landed on a particular home node. Epoch bumps on every move, so
+// each move gets a fresh slot.
+type Slot struct {
+	OID   oid.OID
+	Epoch uint32
+}
+
+// Less orders slots for deterministic iteration.
+func (s Slot) Less(t Slot) bool {
+	if s.OID != t.OID {
+		return s.OID < t.OID
+	}
+	return s.Epoch < t.Epoch
+}
+
+// SortSlots sorts a slot slice in canonical order.
+func SortSlots(ss []Slot) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Less(ss[j]) })
+}
+
+// Record is one ownership record: where an object lives as of an epoch.
+type Record struct {
+	Node  int32
+	Epoch uint32
+}
+
+// Acceptor is the per-slot acceptor state held by each replica.
+type Acceptor struct {
+	Promised uint64 // highest ballot promised
+	AccBal   uint64 // ballot of the accepted value, 0 if none
+	AccNode  int32  // accepted value (home node)
+}
+
+// Prepare handles a prepare(ballot) request. On success it promises the
+// ballot and reports any previously accepted (ballot, value) so the
+// proposer can adopt it; on failure it reports the ballot that blocked.
+func (a *Acceptor) Prepare(ballot uint64) (ok bool, promised, accBal uint64, accNode int32) {
+	if ballot <= a.Promised {
+		return false, a.Promised, 0, -1
+	}
+	a.Promised = ballot
+	return true, ballot, a.AccBal, a.AccNode
+}
+
+// Accept handles an accept(ballot, node) request: accepted iff the ballot
+// is at least the promise.
+func (a *Acceptor) Accept(ballot uint64, node int32) (ok bool, promised uint64) {
+	if ballot < a.Promised {
+		return false, a.Promised
+	}
+	a.Promised = ballot
+	a.AccBal = ballot
+	a.AccNode = node
+	return true, ballot
+}
+
+// Store is the learner state: chosen ownership records, one per object,
+// monotone in epoch. Replicas answer lookups from here.
+type Store struct {
+	recs map[oid.OID]Record
+}
+
+// NewStore returns an empty record store.
+func NewStore() *Store { return &Store{recs: make(map[oid.OID]Record)} }
+
+// Learn applies a chosen decree. Only strictly newer epochs overwrite (the
+// same guard proxies apply to UpdateLoc hints), so replayed or reordered
+// learns are harmless.
+func (s *Store) Learn(o oid.OID, node int32, epoch uint32) bool {
+	if r, ok := s.recs[o]; ok && epoch <= r.Epoch {
+		return false
+	}
+	s.recs[o] = Record{Node: node, Epoch: epoch}
+	return true
+}
+
+// Lookup answers the current record for an object, if any decree chose one.
+func (s *Store) Lookup(o oid.OID) (Record, bool) {
+	r, ok := s.recs[o]
+	return r, ok
+}
+
+// Len reports how many objects have records.
+func (s *Store) Len() int { return len(s.recs) }
+
+// OIDs returns the recorded object IDs in sorted order (for deterministic
+// iteration in tests and debug dumps).
+func (s *Store) OIDs() []oid.OID {
+	out := make([]oid.OID, 0, len(s.recs))
+	for o := range s.recs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Proposal phases.
+const (
+	phaseIdle = iota
+	phasePrepare
+	phaseAccept
+	phaseDone
+)
+
+// Proposal is the proposer side of one decree: the source node of a move
+// drives it after the destination acknowledges the install. The kernel owns
+// message exchange and timeouts; this struct owns ballots, quorum counting
+// and value adoption.
+type Proposal struct {
+	Slot   Slot
+	Value  int32 // the home node this proposer wants recorded
+	Quorum int
+
+	self     int32  // proposer node id, disambiguates ballots
+	Ballot   uint64 // current ballot, valid after Start
+	attempt  uint32
+	maxSeen  uint64 // highest ballot observed in nacks
+	phase    int
+	promises int
+	accepts  int
+	accBal   uint64 // highest accepted ballot among promises
+	accNode  int32  // its value
+	progress uint64 // counts every reply that advanced the current round
+}
+
+// NewProposal builds a proposal for slot with the given desired value.
+func NewProposal(slot Slot, value, self int32, quorum int) *Proposal {
+	return &Proposal{Slot: slot, Value: value, Quorum: quorum, self: self, accNode: -1}
+}
+
+// Start begins the next prepare round and returns its ballot. Ballots embed
+// the proposer id so concurrent proposers never collide, and each restart
+// jumps past every ballot observed in nacks.
+func (p *Proposal) Start() uint64 {
+	for {
+		p.attempt++
+		b := uint64(p.attempt)<<16 | uint64(uint16(p.self+1))
+		if b > p.maxSeen {
+			p.Ballot = b
+			break
+		}
+		if p.maxSeen>>16 > uint64(p.attempt) {
+			p.attempt = uint32(p.maxSeen >> 16)
+		}
+	}
+	p.phase = phasePrepare
+	p.promises = 0
+	p.accepts = 0
+	p.accBal = 0
+	p.accNode = -1
+	return p.Ballot
+}
+
+// Attempt reports how many prepare rounds have started.
+func (p *Proposal) Attempt() int { return int(p.attempt) }
+
+// Progress counts replies that advanced the current round. A timeout driver
+// can compare snapshots of it to tell a round that is merely slower than
+// the timeout window (replies still arriving — leave the ballot alone) from
+// one that is truly stuck (nothing arrived — restart with a higher ballot).
+func (p *Proposal) Progress() uint64 { return p.progress }
+
+// Done reports whether the decree has been chosen.
+func (p *Proposal) Done() bool { return p.phase == phaseDone }
+
+// OnPromise processes one promise (or nack) for the given ballot. It
+// returns true exactly once, when the quorum of promises is reached and the
+// proposer should broadcast accept(Ballot, ChosenValue).
+func (p *Proposal) OnPromise(ballot uint64, ok bool, accBal uint64, accNode int32, promised uint64) bool {
+	if !ok {
+		if promised > p.maxSeen {
+			p.maxSeen = promised
+		}
+		return false
+	}
+	if p.phase != phasePrepare || ballot != p.Ballot {
+		return false // stale round
+	}
+	if accBal > p.accBal {
+		p.accBal = accBal
+		p.accNode = accNode
+	}
+	p.progress++
+	p.promises++
+	if p.promises < p.Quorum {
+		return false
+	}
+	p.phase = phaseAccept
+	return true
+}
+
+// ChosenValue is the value to propose in the accept phase: any value a
+// quorum member already accepted wins over our own (the synod invariant).
+func (p *Proposal) ChosenValue() int32 {
+	if p.accBal > 0 && p.accNode >= 0 {
+		return p.accNode
+	}
+	return p.Value
+}
+
+// OnAccepted processes one accepted (or nack) reply. It returns true
+// exactly once, when a quorum has accepted and the decree is chosen.
+func (p *Proposal) OnAccepted(ballot uint64, ok bool, promised uint64) bool {
+	if !ok {
+		if promised > p.maxSeen {
+			p.maxSeen = promised
+		}
+		return false
+	}
+	if p.phase != phaseAccept || ballot != p.Ballot {
+		return false
+	}
+	p.progress++
+	p.accepts++
+	if p.accepts < p.Quorum {
+		return false
+	}
+	p.phase = phaseDone
+	return true
+}

@@ -1,0 +1,160 @@
+package dir
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+)
+
+func TestNormalizeAndQuorum(t *testing.T) {
+	c := Config{Replicas: 9, Shards: 0}.Normalize(4)
+	if c.Replicas != 4 || c.Shards != 4 {
+		t.Fatalf("normalize clamped to %+v", c)
+	}
+	if q := (Config{Replicas: 3}).Quorum(); q != 2 {
+		t.Fatalf("quorum(3) = %d", q)
+	}
+	if q := (Config{Replicas: 1}).Quorum(); q != 1 {
+		t.Fatalf("quorum(1) = %d", q)
+	}
+	if q := (Config{Replicas: 4}).Quorum(); q != 3 {
+		t.Fatalf("quorum(4) = %d", q)
+	}
+}
+
+func TestReplicaSetWraps(t *testing.T) {
+	got := ReplicaSet(3, 3, 4)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("replica set %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica set %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAcceptorPromiseOrdering(t *testing.T) {
+	var a Acceptor
+	ok, _, accBal, _ := a.Prepare(10)
+	if !ok || accBal != 0 {
+		t.Fatalf("first prepare refused")
+	}
+	if ok, promised, _, _ := a.Prepare(5); ok || promised != 10 {
+		t.Fatalf("lower prepare accepted (ok=%v promised=%d)", ok, promised)
+	}
+	if ok, _ := a.Accept(10, 2); !ok {
+		t.Fatalf("accept at promised ballot refused")
+	}
+	// A later prepare must surface the accepted value.
+	ok, _, accBal, accNode := a.Prepare(20)
+	if !ok || accBal != 10 || accNode != 2 {
+		t.Fatalf("prepare(20) = ok=%v accBal=%d accNode=%d", ok, accBal, accNode)
+	}
+	// An accept below the new promise is refused.
+	if ok, _ := a.Accept(10, 3); ok {
+		t.Fatalf("stale accept succeeded")
+	}
+}
+
+func TestStoreLearnMonotoneEpoch(t *testing.T) {
+	s := NewStore()
+	o := oid.ForRuntime(0, 1)
+	if !s.Learn(o, 2, 1) {
+		t.Fatalf("first learn rejected")
+	}
+	if s.Learn(o, 3, 1) {
+		t.Fatalf("equal-epoch learn overwrote")
+	}
+	if s.Learn(o, 3, 0) {
+		t.Fatalf("older-epoch learn overwrote")
+	}
+	if !s.Learn(o, 3, 2) {
+		t.Fatalf("newer-epoch learn rejected")
+	}
+	r, ok := s.Lookup(o)
+	if !ok || r.Node != 3 || r.Epoch != 2 {
+		t.Fatalf("lookup = %+v ok=%v", r, ok)
+	}
+	if _, ok := s.Lookup(oid.ForRuntime(1, 9)); ok {
+		t.Fatalf("lookup of unknown object hit")
+	}
+}
+
+func TestProposalHappyPath(t *testing.T) {
+	p := NewProposal(Slot{OID: 5, Epoch: 2}, 3, 0, 2)
+	b := p.Start()
+	if b == 0 {
+		t.Fatalf("zero ballot")
+	}
+	if p.OnPromise(b, true, 0, -1, 0) {
+		t.Fatalf("quorum after one promise")
+	}
+	if !p.OnPromise(b, true, 0, -1, 0) {
+		t.Fatalf("no quorum after two promises")
+	}
+	if v := p.ChosenValue(); v != 3 {
+		t.Fatalf("chose %d, want own value 3", v)
+	}
+	if p.OnAccepted(b, true, 0) {
+		t.Fatalf("chosen after one accept")
+	}
+	if !p.OnAccepted(b, true, 0) {
+		t.Fatalf("not chosen after quorum accepts")
+	}
+	if !p.Done() {
+		t.Fatalf("not done after chosen")
+	}
+}
+
+func TestProposalAdoptsAcceptedValue(t *testing.T) {
+	p := NewProposal(Slot{OID: 5, Epoch: 2}, 3, 0, 2)
+	b := p.Start()
+	p.OnPromise(b, true, 7, 1, 0) // a replica already accepted value 1 at ballot 7
+	p.OnPromise(b, true, 0, -1, 0)
+	if v := p.ChosenValue(); v != 1 {
+		t.Fatalf("chose %d, want adopted value 1", v)
+	}
+}
+
+func TestProposalRestartJumpsNacks(t *testing.T) {
+	p := NewProposal(Slot{OID: 5, Epoch: 2}, 3, 0, 2)
+	b := p.Start()
+	// Nacked: someone promised a much higher ballot.
+	if p.OnPromise(b, false, 0, -1, 99<<16) {
+		t.Fatalf("nack advanced phase")
+	}
+	b2 := p.Start()
+	if b2 <= 99<<16 {
+		t.Fatalf("restart ballot %d did not jump past nacked ballot", b2)
+	}
+	// Stale replies from the old round are ignored.
+	if p.OnPromise(b, true, 0, -1, 0) {
+		t.Fatalf("stale-round promise counted")
+	}
+	if !p.OnPromise(b2, true, 0, -1, 0) || p.Done() {
+		// first promise of round 2; need one more
+		if p.Done() {
+			t.Fatalf("done too early")
+		}
+	}
+}
+
+func TestProposalDistinctBallotsPerNode(t *testing.T) {
+	a := NewProposal(Slot{OID: 1, Epoch: 1}, 0, 0, 1).Start()
+	b := NewProposal(Slot{OID: 1, Epoch: 1}, 0, 1, 1).Start()
+	if a == b {
+		t.Fatalf("two proposers issued the same ballot %d", a)
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	o := oid.ForRuntime(2, 7)
+	if ShardOf(o, 4) != ShardOf(o, 4) {
+		t.Fatalf("shard not stable")
+	}
+	if s := ShardOf(o, 4); s < 0 || s > 3 {
+		t.Fatalf("shard %d out of range", s)
+	}
+}

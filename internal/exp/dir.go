@@ -1,0 +1,203 @@
+// The directory overhead study (embench dir): one fixed migration-heavy
+// tour run under four configurations — directory off and on (3 replicas),
+// each clean and under a seeded fault plan that crashes and restarts a
+// pure replica host mid-run (a minority of every shard's replica set, so
+// decrees keep completing). The table backs the two claims DESIGN.md §15
+// makes: the replicated directory's decree traffic is a modest constant
+// overhead per move, and under the crash plan it keeps objects locatable
+// in one shard query where the chase-only kernel leans on forwarding
+// chains.
+
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// DirResult is one configuration's measurement.
+type DirResult struct {
+	Config        string  // directory / fault-plan arm
+	SimMS         float64 // simulated completion time
+	Frames        uint64  // total link frames on the wire
+	WireBytes     uint64  // total bytes on the wire (payload + framing)
+	RemoteInvokes uint64  // cross-node invocations
+	ProxyForwards uint64  // messages forwarded along a proxy chain
+	ChaseHops     uint64  // locate chase hops walked (satellite TTL metric)
+	Decrees       uint64  // directory decrees chosen
+	Lookups       uint64  // directory shard queries issued
+	Degraded      uint64  // decrees/lookups that fell back to the chase
+	Compactions   uint64  // proxies rewritten by the background compactor
+}
+
+// dirWorkload is the study's fixed tour: three couriers bouncing between
+// nodes 0-2 with an invocation after every move. Node 3 hosts no objects
+// or threads — it exists purely as a shard replica, so crashing it stresses
+// the directory's availability without perturbing the program.
+const dirWorkload = `
+object Courier
+  var hops: Int <- 0
+  operation bump() -> (r: Int)
+    hops <- hops + 1
+    r <- hops
+  end
+end Courier
+
+object Main
+  process
+    var a: Courier <- new Courier
+    var b: Courier <- new Courier
+    var c: Courier <- new Courier
+    var lap: Int <- 0
+    while lap < 3 do
+      move a to node(1)
+      print(a.bump())
+      move b to node(2)
+      print(b.bump())
+      move c to node(1)
+      print(c.bump())
+      move a to node(2)
+      print(a.bump())
+      move b to node(1)
+      print(b.bump())
+      move a to node(0)
+      move b to node(0)
+      move c to node(0)
+      print(c.bump())
+      lap <- lap + 1
+    end
+    print(locate(a))
+    print(locate(b))
+    print(locate(c))
+  end process
+end Main
+`
+
+// dirPlan is the fault arm: light frame noise plus a crash/restart of node
+// 3 — the pure replica host — in the middle of the tour.
+func dirPlan() *chaos.Plan {
+	return &chaos.Plan{
+		Seed: 7, Drop: 0.02, Dup: 0.01,
+		Crashes: []chaos.Crash{{Node: 3, At: 400_000, RestartAt: 520_000}},
+	}
+}
+
+// dirArm runs one configuration of the study.
+func dirArm(label string, replicas int, plan *chaos.Plan) (DirResult, error) {
+	sys, err := core.RunSource(dirWorkload, core.Figure1Network(), core.Options{
+		DirReplicas: replicas, Chaos: plan,
+	})
+	if err != nil {
+		return DirResult{}, fmt.Errorf("%s: %w", label, err)
+	}
+	r := DirResult{Config: label, SimMS: sys.ElapsedMS()}
+	for _, c := range sys.MetricsSnapshot().Counters {
+		switch c.Name {
+		case "remote_invokes":
+			r.RemoteInvokes += c.Value
+		case "proxy_forwards":
+			r.ProxyForwards += c.Value
+		case "locate_chase_hops":
+			r.ChaseHops += c.Value
+		case "dir_decrees":
+			r.Decrees += c.Value
+		case "dir_lookups":
+			r.Lookups += c.Value
+		case "dir_degraded":
+			r.Degraded += c.Value
+		case "dir_compactions":
+			r.Compactions += c.Value
+		}
+	}
+	net := sys.Cluster.Net
+	r.Frames = uint64(net.Frames)
+	r.WireBytes = uint64(net.Bytes)
+	return r, nil
+}
+
+// DirStudy runs all four arms on the fixed tour and returns the rows plus
+// the workload description line.
+func DirStudy() ([]DirResult, string, error) {
+	desc := "3 couriers x 3 laps over nodes 0-2, bump after every move; node 3 is a pure shard replica (crashed 400-520ms in the fault arms)"
+	arms := []struct {
+		label    string
+		replicas int
+		plan     *chaos.Plan
+	}{
+		{"off/clean", 0, nil},
+		{"dir3/clean", 3, nil},
+		{"off/crash", 0, dirPlan()},
+		{"dir3/crash", 3, dirPlan()},
+	}
+	var out []DirResult
+	for _, a := range arms {
+		r, err := dirArm(a.label, a.replicas, a.plan)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, r)
+	}
+	return out, desc, nil
+}
+
+// FormatDir renders the study as the human-readable overhead table.
+func FormatDir(rows []DirResult, desc string) string {
+	var b strings.Builder
+	b.WriteString("Replicated directory overhead on a migration-heavy tour\n")
+	b.WriteString(desc + "\n")
+	fmt.Fprintf(&b, "%-12s %9s %7s %9s %7s %6s %6s %8s %7s %5s\n",
+		"config", "sim time", "frames", "bytes", "remote", "fwd", "chase", "decrees", "lookups", "degr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %7.1fms %7d %9d %7d %6d %6d %8d %7d %5d\n",
+			r.Config, r.SimMS, r.Frames, r.WireBytes, r.RemoteInvokes,
+			r.ProxyForwards, r.ChaseHops, r.Decrees, r.Lookups, r.Degraded)
+	}
+	b.WriteString("fwd = proxy-chain forwards; chase = locate hops walked;\n")
+	b.WriteString("decrees/lookups/degr = directory consensus, shard queries, fallbacks.\n")
+	return b.String()
+}
+
+// BenchDirRow is one arm in BENCH_dir.json.
+type BenchDirRow struct {
+	Config        string  `json:"config"`
+	SimMS         float64 `json:"sim_ms"`
+	Frames        uint64  `json:"frames"`
+	WireBytes     uint64  `json:"wire_bytes"`
+	RemoteInvokes uint64  `json:"remote_invokes"`
+	ProxyForwards uint64  `json:"proxy_forwards"`
+	ChaseHops     uint64  `json:"chase_hops"`
+	Decrees       uint64  `json:"decrees"`
+	Lookups       uint64  `json:"lookups"`
+	Degraded      uint64  `json:"degraded"`
+	Compactions   uint64  `json:"compactions"`
+}
+
+// BenchDir is the BENCH_dir.json document.
+type BenchDir struct {
+	Benchmark string        `json:"benchmark"`
+	Unit      string        `json:"unit"`
+	Workload  string        `json:"workload"`
+	Rows      []BenchDirRow `json:"rows"`
+}
+
+// BenchDirDoc converts the study rows to the JSON document.
+func BenchDirDoc(rows []DirResult, desc string) BenchDir {
+	doc := BenchDir{
+		Benchmark: "dir",
+		Unit:      "mixed (ms, counts, bytes)",
+		Workload:  desc,
+	}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, BenchDirRow{
+			Config: r.Config, SimMS: r.SimMS, Frames: r.Frames,
+			WireBytes: r.WireBytes, RemoteInvokes: r.RemoteInvokes,
+			ProxyForwards: r.ProxyForwards, ChaseHops: r.ChaseHops,
+			Decrees: r.Decrees, Lookups: r.Lookups, Degraded: r.Degraded,
+			Compactions: r.Compactions,
+		})
+	}
+	return doc
+}

@@ -1,0 +1,537 @@
+// Replicated object directory (emdir), active only when Config.DirReplicas
+// > 0. Every committed move drives one single-decree Paxos round (see
+// internal/dir) recording the object's new home across the replicas of its
+// shard; locates and stale-proxy re-resolution consult the directory first,
+// and a per-node background compactor rewrites chained proxies so
+// forwarding chains shrink to ≤1 hop. All directory traffic travels as
+// ordinary protocol messages through sendMsg — charged, observed and
+// fault-injected like any other kernel traffic — except that a node acting
+// as a replica of its own query answers locally for just the syscall
+// charge. Directory-off runs take none of these code paths: no messages,
+// metrics, events or timers.
+//
+// Ordering with the two-phase move commit (twophase.go): under chaos the
+// source proposes the decree only after the destination's positive MoveAck,
+// and releases the object (commitMove) only once the decree resolves — so a
+// chosen record never names a home that refused the install, and after a
+// crash/restart a locate is one shard query. If the decree cannot complete
+// (replica majority down), the round degrades after bounded attempts and
+// the move commits anyway: availability of the move protocol is preserved
+// and the forwarding-address chase covers the stale record. Chaos-off,
+// delivery is certain and there are no competing proposers, so the decree
+// is fire-and-forget at dispatch time.
+
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dir"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/oid"
+	"repro/internal/wire"
+)
+
+// DefaultDirCompactMicros is the default compactor tick period.
+const DefaultDirCompactMicros = 200000 // 200 simulated ms
+
+// dirMaxAttempts bounds decree prepare rounds before degrading.
+const dirMaxAttempts = 3
+
+// dirCompactBatch bounds proxies refreshed per compactor tick.
+const dirCompactBatch = 4
+
+// armDir enables the directory: sizes the shard/replica layout and arms the
+// per-node compactors. Compactor ticks are weak events (they never keep a
+// finished simulation alive), mirroring heartbeats.
+func (c *Cluster) armDir() {
+	c.dirOn = true
+	c.dirCfg = dir.Config{Replicas: c.Config.DirReplicas}.Normalize(len(c.Nodes))
+	for _, n := range c.Nodes {
+		n := n
+		c.Sim.AtNodeWeak(n.ID, c.dirCompactPeriod(), n.dirCompactTick)
+	}
+}
+
+func (c *Cluster) dirCompactPeriod() netsim.Micros {
+	if c.Config.DirCompactPeriodMicros > 0 {
+		return netsim.Micros(c.Config.DirCompactPeriodMicros)
+	}
+	return DefaultDirCompactMicros
+}
+
+// dirReplicasOf returns the replica set of o's shard.
+func (n *Node) dirReplicasOf(o oid.OID) []int {
+	cfg := n.cluster.dirCfg
+	return dir.ReplicaSet(dir.ShardOf(o, cfg.Shards), cfg.Replicas, len(n.cluster.Nodes))
+}
+
+// dirSend routes a directory message: remote replicas through the normal
+// (charged, reliable-under-chaos) send path, this node's own replica role
+// synchronously for the syscall charge alone — the kernel never puts a
+// frame on the medium addressed to itself.
+func (n *Node) dirSend(dst int, p wire.Payload) {
+	if dst == n.ID {
+		n.charge(uint64(n.cluster.Costs.SyscallCycles))
+		n.handleMsg(n.ID, p)
+		return
+	}
+	n.sendMsg(dst, p)
+}
+
+// ------------------------------------------------------------- proposer
+
+// dirProposal is the kernel side of one decree the local node is driving:
+// the pure synod state plus replica fan-out and completion callbacks.
+type dirProposal struct {
+	p        *dir.Proposal
+	replicas []int
+	// done callbacks fire once, when the decree resolves (chosen or
+	// degraded); the move commit gates on them under chaos.
+	done []func(chosen bool)
+	// stalledTimer: the round timer fired while this node was down;
+	// restart re-arms it.
+	stalledTimer bool
+}
+
+// dirPropose starts (or joins) the decree recording object o at home as of
+// epoch. done, if non-nil, fires when the decree resolves.
+func (n *Node) dirPropose(o oid.OID, epoch uint32, home int32, done func(chosen bool)) {
+	slot := dir.Slot{OID: o, Epoch: epoch}
+	if dp, ok := n.dirProps[slot]; ok {
+		if done != nil {
+			dp.done = append(dp.done, done)
+		}
+		return
+	}
+	dp := &dirProposal{
+		p:        dir.NewProposal(slot, home, int32(n.ID), n.cluster.dirCfg.Quorum()),
+		replicas: n.dirReplicasOf(o),
+	}
+	if done != nil {
+		dp.done = append(dp.done, done)
+	}
+	n.dirProps[slot] = dp
+	n.dirPrepareRound(dp)
+}
+
+// dirPrepareRound starts the next prepare round: a fresh ballot to every
+// replica of the slot's shard. With a single-replica set containing this
+// node the whole decree resolves synchronously inside the first dirSend, so
+// the fan-out re-checks that the proposal is still the live one.
+func (n *Node) dirPrepareRound(dp *dirProposal) {
+	slot := dp.p.Slot
+	ballot := dp.p.Start()
+	for _, r := range dp.replicas {
+		if n.dirProps[slot] != dp {
+			return
+		}
+		n.dirSend(r, &wire.DirPrepare{Target: slot.OID, Epoch: slot.Epoch, Ballot: ballot})
+	}
+	n.armDirTimer(dp)
+}
+
+// armDirTimer watches one decree round (chaos only — without faults every
+// round completes). A window that saw replies arrive means the round is
+// merely slower than the window — keep the ballot and wait another window;
+// a silent window means the round is stuck, so the proposer retries with a
+// higher ballot, up to dirMaxAttempts silent windows, then degrades: the
+// decree is abandoned, callers fall back to forwarding addresses, and the
+// record heals on the object's next move.
+func (n *Node) armDirTimer(dp *dirProposal) {
+	if !n.chaosOn() {
+		return
+	}
+	attempt := dp.p.Attempt()
+	progress := dp.p.Progress()
+	n.sched.At(n.cluster.Chaos.CommitWindow(), func() {
+		if n.dirProps[dp.p.Slot] != dp || dp.p.Done() {
+			return
+		}
+		if !n.Up {
+			dp.stalledTimer = true
+			return
+		}
+		if dp.p.Attempt() != attempt {
+			return // a newer round owns the live timer
+		}
+		if dp.p.Progress() != progress {
+			n.armDirTimer(dp)
+			return
+		}
+		if attempt >= dirMaxAttempts {
+			n.dirResolve(dp, false, "decree attempts exhausted")
+			return
+		}
+		n.dirPrepareRound(dp)
+	})
+}
+
+// dirResolve finishes a decree (chosen or degraded) and fires the waiters.
+func (n *Node) dirResolve(dp *dirProposal, chosen bool, reason string) {
+	delete(n.dirProps, dp.p.Slot)
+	if !chosen {
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+			Kind: obs.EvDirDegraded, Obj: uint32(dp.p.Slot.OID), Str: reason})
+		n.cluster.Rec.Metrics().Add("dir_degraded", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	}
+	done := dp.done
+	dp.done = nil
+	for _, f := range done {
+		f(chosen)
+	}
+}
+
+// recvDirPromise counts one promise; on quorum it broadcasts the accept.
+func (n *Node) recvDirPromise(src int, p *wire.DirPromise) {
+	slot := dir.Slot{OID: p.Target, Epoch: p.Epoch}
+	dp := n.dirProps[slot]
+	if dp == nil || dp.p.Done() {
+		return
+	}
+	if !dp.p.OnPromise(p.Ballot, p.Ok, p.AccBallot, p.AccNode, p.Promised) {
+		return
+	}
+	v := dp.p.ChosenValue()
+	for _, r := range dp.replicas {
+		if n.dirProps[slot] != dp {
+			return
+		}
+		n.dirSend(r, &wire.DirAccept{Target: slot.OID, Epoch: slot.Epoch,
+			Ballot: dp.p.Ballot, Node: v})
+	}
+}
+
+// recvDirAccepted counts one accept; on quorum the decree is chosen: the
+// proposer announces it to every replica and releases the waiters.
+func (n *Node) recvDirAccepted(src int, p *wire.DirAccepted) {
+	slot := dir.Slot{OID: p.Target, Epoch: p.Epoch}
+	dp := n.dirProps[slot]
+	if dp == nil {
+		return
+	}
+	if !dp.p.OnAccepted(p.Ballot, p.Ok, p.Promised) {
+		return
+	}
+	v := dp.p.ChosenValue()
+	lbl := obs.NodeLabels(n.ID, n.Spec.ID.String())
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvDirDecree, Obj: uint32(slot.OID), A: uint64(slot.Epoch), B: uint64(v)})
+	n.cluster.Rec.Metrics().Add("dir_decrees", lbl, 1)
+	n.cluster.Rec.Metrics().Add("dir_decree_rounds", lbl, uint64(dp.p.Attempt()))
+	for _, r := range dp.replicas {
+		n.dirSend(r, &wire.DirLearn{Target: slot.OID, Epoch: slot.Epoch, Node: v})
+	}
+	n.dirResolve(dp, true, "")
+}
+
+// ------------------------------------------------------------- replica
+
+// recvDirPrepare answers a prepare from this node's acceptor state.
+func (n *Node) recvDirPrepare(src int, p *wire.DirPrepare) {
+	slot := dir.Slot{OID: p.Target, Epoch: p.Epoch}
+	a := n.dirAcc[slot]
+	if a == nil {
+		a = &dir.Acceptor{AccNode: -1}
+		n.dirAcc[slot] = a
+	}
+	ok, promised, accBal, accNode := a.Prepare(p.Ballot)
+	n.dirSend(src, &wire.DirPromise{Target: p.Target, Epoch: p.Epoch, Ballot: p.Ballot,
+		Ok: ok, Promised: promised, AccBallot: accBal, AccNode: accNode})
+}
+
+// recvDirAccept answers an accept from this node's acceptor state.
+func (n *Node) recvDirAccept(src int, p *wire.DirAccept) {
+	slot := dir.Slot{OID: p.Target, Epoch: p.Epoch}
+	a := n.dirAcc[slot]
+	if a == nil {
+		a = &dir.Acceptor{AccNode: -1}
+		n.dirAcc[slot] = a
+	}
+	ok, promised := a.Accept(p.Ballot, p.Node)
+	n.dirSend(src, &wire.DirAccepted{Target: p.Target, Epoch: p.Epoch, Ballot: p.Ballot,
+		Ok: ok, Promised: promised})
+}
+
+// recvDirLearn applies a chosen decree to this replica's record store. The
+// slot is decided, so its acceptor scratch state retires; each move of one
+// object uses a fresh slot, and only the move's source proposes for it, so
+// the slot can never be reopened.
+func (n *Node) recvDirLearn(src int, p *wire.DirLearn) {
+	n.dirStore.Learn(p.Target, p.Node, p.Epoch)
+	delete(n.dirAcc, dir.Slot{OID: p.Target, Epoch: p.Epoch})
+}
+
+// recvDirLookup answers a location query from this replica's record store.
+func (n *Node) recvDirLookup(src int, p *wire.DirLookup) {
+	r, ok := n.dirStore.Lookup(p.Target)
+	reply := &wire.DirLookupReply{Target: p.Target, Token: p.Token, Ok: ok,
+		Node: r.Node, Epoch: r.Epoch}
+	if !ok {
+		reply.Node = -1
+	}
+	n.dirSend(src, reply)
+}
+
+// ------------------------------------------------------------- lookups
+
+// dirLookup is one outstanding location query.
+type dirLookup struct {
+	oid  oid.OID
+	done func(ok bool, node int32, epoch uint32)
+	// stalledTimer: the query timeout fired while this node was down;
+	// restart re-arms it.
+	stalledTimer bool
+	token        uint32
+}
+
+// dirLookupQuery asks one replica of o's shard for its ownership record —
+// the O(1) locate. It prefers this node's own replica role (free and
+// synchronous), else the first unsuspected replica. timed arms a degrade
+// timeout under chaos; callers with a blocked fragment on the line want it,
+// the compactor does not (its queries carry no strong timers, so an idle
+// simulation can finish). done always fires exactly once; ok=false means
+// degraded or miss and the caller falls back to the forwarding chase.
+func (n *Node) dirLookupQuery(o oid.OID, timed bool, done func(ok bool, node int32, epoch uint32)) {
+	lbl := obs.NodeLabels(n.ID, n.Spec.ID.String())
+	n.cluster.Rec.Metrics().Add("dir_lookups", lbl, 1)
+	target := -1
+	for _, r := range n.dirReplicasOf(o) {
+		if r == n.ID {
+			target = r
+			break
+		}
+		if target < 0 && !n.suspects[r] {
+			target = r
+		}
+	}
+	if target < 0 {
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+			Kind: obs.EvDirDegraded, Obj: uint32(o), Str: "all replicas suspected"})
+		n.cluster.Rec.Metrics().Add("dir_degraded", lbl, 1)
+		done(false, -1, 0)
+		return
+	}
+	n.dirTok++
+	lk := &dirLookup{oid: o, done: done, token: n.dirTok}
+	n.dirLooks[lk.token] = lk
+	if timed && n.chaosOn() && target != n.ID {
+		n.armDirLookupTimer(lk)
+	}
+	n.dirSend(target, &wire.DirLookup{Target: o, Token: lk.token})
+}
+
+// armDirLookupTimer degrades a remote query whose reply does not arrive
+// within the commit window (replica crashed after suspicion checks, reply
+// stalled). The fallback chase still answers the caller.
+func (n *Node) armDirLookupTimer(lk *dirLookup) {
+	n.sched.At(n.cluster.Chaos.CommitWindow(), func() {
+		if n.dirLooks[lk.token] != lk {
+			return
+		}
+		if !n.Up {
+			lk.stalledTimer = true
+			return
+		}
+		delete(n.dirLooks, lk.token)
+		n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+			Kind: obs.EvDirDegraded, Obj: uint32(lk.oid), Str: "lookup timeout"})
+		n.cluster.Rec.Metrics().Add("dir_degraded", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+		lk.done(false, -1, 0)
+	})
+}
+
+// recvDirLookupReply resolves an outstanding query.
+func (n *Node) recvDirLookupReply(src int, p *wire.DirLookupReply) {
+	lk := n.dirLooks[p.Token]
+	if lk == nil {
+		return // timed out and degraded, or duplicate
+	}
+	delete(n.dirLooks, p.Token)
+	hit := uint64(0)
+	if p.Ok {
+		hit = 1
+		n.cluster.Rec.Metrics().Add("dir_lookup_hits", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	}
+	n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+		Kind: obs.EvDirLookup, Obj: uint32(p.Target), A: hit, B: uint64(uint32(p.Node))})
+	lk.done(p.Ok, p.Node, p.Epoch)
+}
+
+// dirRefreshProxy applies a directory record to a local proxy. Records are
+// quorum-chosen truths, so they overwrite hint-derived knowledge of the
+// same epoch; strictly older records never regress the proxy (the same
+// monotonicity guard UpdateLoc uses). Reports whether the proxy moved.
+func (n *Node) dirRefreshProxy(o *Obj, node int32, epoch uint32) bool {
+	if o.Resident || o.transit != nil || node < 0 || int(node) >= len(n.cluster.Nodes) {
+		return false
+	}
+	if int(node) == n.ID {
+		// The record names this node but the object is not resident here:
+		// an inbound move's decree raced the install, or we re-exported it.
+		// Never point a proxy at ourselves.
+		return false
+	}
+	if epoch > o.Epoch || (epoch == o.Epoch && int(node) != o.LastKnown) {
+		o.LastKnown = int(node)
+		o.Epoch = epoch
+		o.LocStale = false
+		o.chained = false
+		return true
+	}
+	if epoch == o.Epoch && int(node) == o.LastKnown {
+		o.LocStale = false
+	}
+	return false
+}
+
+// dirLocate services a locate for a blocked fragment: one shard query, then
+// the (refreshed) forwarding protocol — the resident node still produces
+// the authoritative answer, the directory just collapses the walk to ≤1
+// hop. On miss or degrade the chase runs from the old hint unchanged.
+func (n *Node) dirLocate(f *Frag, o *Obj) {
+	n.dirLookupQuery(o.OID, true, func(ok bool, node int32, epoch uint32) {
+		if cur, live := n.objects[o.OID]; live && cur == o && !o.Resident {
+			if ok {
+				n.dirRefreshProxy(o, node, epoch)
+			}
+			n.sendMsg(o.LastKnown, &wire.Locate{
+				Target: o.OID, Origin: int32(n.ID), ReplyFrag: f.ID,
+			})
+			return
+		}
+		// The object became resident here while the query was in flight
+		// (an inbound move landed): answer directly.
+		n.pushTemp(f, uint32(n.ID))
+		n.enqueue(f)
+	})
+}
+
+// dirRerouteInvoke re-resolves a suspected-or-stale callee location through
+// the directory before giving up on the invocation. If the record names a
+// healthy different home the call redispatches there; otherwise the
+// invocation fails with the same typed fault the directory-free path
+// raises.
+func (n *Node) dirRerouteInvoke(f *Frag, recv *Obj, opName string, args []uint32) {
+	f.Status = FragStateBlockedCall
+	f.waitNode = -1
+	n.dirLookupQuery(recv.OID, true, func(ok bool, node int32, epoch uint32) {
+		if recv.Resident {
+			// An inbound move landed the callee here mid-query.
+			f.Status = FragStateReady
+			n.dispatchCall(f, recv, opName, args)
+			return
+		}
+		if ok && n.dirRefreshProxy(recv, node, epoch) && !n.suspects[recv.LastKnown] {
+			n.cluster.Rec.Metrics().Add("dir_reroutes", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			f.Status = FragStateReady
+			n.invokeRemote(f, recv, opName, args)
+			return
+		}
+		recv.LocStale = false // fault now; a later suspicion re-marks
+		n.faultErr(f, ErrNodeDown, fmt.Sprintf("remote invocation of %s on %v: node %d is down",
+			opName, recv.OID, recv.LastKnown))
+	})
+}
+
+// invalidateLocationsAt marks every proxy whose cached location points at
+// the newly suspected peer: the forwarding address may dangle. The marks
+// steer directory-armed lookups and the compactor; without the directory
+// they are inert bits.
+func (n *Node) invalidateLocationsAt(peer int) {
+	for _, o := range n.objects {
+		if !o.Resident && o.transit == nil && o.LastKnown == peer {
+			o.LocStale = true
+		}
+	}
+}
+
+// ------------------------------------------------------------ compactor
+
+// dirCompactTick is the background chain compactor: each tick it refreshes
+// a bounded batch of flagged proxies (chained through by traffic, or
+// location-stale after a suspicion) from the directory, rewriting them to
+// the decreed home so forwarding chains truncate to ≤1 hop. Weakly
+// self-re-arming, like heartbeats.
+func (n *Node) dirCompactTick() {
+	n.sched.AtWeak(n.cluster.dirCompactPeriod(), n.dirCompactTick)
+	if !n.Up {
+		return
+	}
+	var ids []oid.OID
+	for id, o := range n.objects {
+		if !o.Resident && o.transit == nil && (o.LocStale || o.chained) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > dirCompactBatch {
+		ids = ids[:dirCompactBatch]
+	}
+	for _, id := range ids {
+		id := id
+		n.dirLookupQuery(id, false, func(ok bool, node int32, epoch uint32) {
+			o := n.objects[id]
+			if o == nil || o.Resident {
+				return
+			}
+			// One query per flagging either way: a miss (the object never
+			// moved under the directory) clears the flags too, or the
+			// compactor would re-query it every tick forever.
+			if ok && n.dirRefreshProxy(o, node, epoch) {
+				n.cluster.Rec.Emit(obs.Event{At: int64(n.now()), Node: int32(n.ID),
+					Kind: obs.EvDirCompact, Obj: uint32(id), A: uint64(epoch), B: uint64(uint32(node))})
+				n.cluster.Rec.Metrics().Add("dir_compactions", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+			}
+			o.LocStale = false
+			o.chained = false
+		})
+	}
+}
+
+// -------------------------------------------------- move-commit ordering
+
+// dirProposeMove drives the decree for a positively-acked move and commits
+// the transaction when the decree resolves — chosen or degraded — provided
+// the span is still pending (the commit timer cannot have aborted it: a
+// delivered, acked move retires the timer; this is belt and braces).
+func (n *Node) dirProposeMove(tx *moveTxn) {
+	span := tx.span
+	n.dirPropose(tx.obj.OID, tx.obj.Epoch, int32(tx.dest), func(chosen bool) {
+		if cur, live := n.pendingCommits[span]; !live || cur != tx {
+			return
+		}
+		n.commitMove(tx)
+	})
+}
+
+// restartDir re-arms directory timers that fired while the node was down,
+// in deterministic order; called from restart().
+func (n *Node) restartDir() {
+	slots := make([]dir.Slot, 0, len(n.dirProps))
+	for slot, dp := range n.dirProps {
+		if dp.stalledTimer {
+			slots = append(slots, slot)
+		}
+	}
+	dir.SortSlots(slots)
+	for _, slot := range slots {
+		dp := n.dirProps[slot]
+		dp.stalledTimer = false
+		n.armDirTimer(dp)
+	}
+	toks := make([]uint32, 0, len(n.dirLooks))
+	for tok, lk := range n.dirLooks {
+		if lk.stalledTimer {
+			toks = append(toks, tok)
+		}
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, tok := range toks {
+		lk := n.dirLooks[tok]
+		lk.stalledTimer = false
+		n.armDirLookupTimer(lk)
+	}
+}

@@ -44,6 +44,12 @@ func (n *Node) dispatchMove(dest int, msg *wire.Move, tx *moveTxn, sp *obs.Span,
 	bytes, sendAt := n.sendMsgAck(dest, msg, func() { tx.delivered = true })
 	n.cluster.Rec.SpanSent(sp.ID, bytes, int64(sendAt))
 	tx.do(commit)
+	if n.cluster.dirOn && !tx.live {
+		// Chaos-off the commit just ran inline and delivery is certain, so
+		// the directory decree is fire-and-forget; chaos-on it waits for
+		// the destination's positive MoveAck (recvMoveAck).
+		n.dirPropose(msg.Object, msg.Epoch, int32(dest), nil)
+	}
 	if tx.live {
 		n.beginTransit(tx, sp.ID)
 	}
@@ -107,6 +113,10 @@ func (n *Node) moveGroup(objs []*Obj, dest int, fix bool) {
 	m.Add("group_move_member_bytes", lbl, uint64(memberBytes))
 	for _, it := range items {
 		it.tx.do(it.commit)
+		if n.cluster.dirOn && !it.tx.live {
+			// Same chaos-off fire-and-forget decree as dispatchMove.
+			n.dirPropose(it.msg.Object, it.msg.Epoch, int32(dest), nil)
+		}
 	}
 	// Under chaos every member transaction pins to the batch's single frame
 	// (lastFrame after the one send above): per-member MoveAcks resolve the

@@ -92,7 +92,14 @@ func (n *Node) invokeLocal(f *Frag, recv *Obj, opName string, args []uint32) {
 // fragment blocks until the Return arrives (possibly at another node, if
 // the fragment migrates meanwhile).
 func (n *Node) invokeRemote(f *Frag, recv *Obj, opName string, args []uint32) {
-	if n.chaosOn() && n.suspects[recv.LastKnown] {
+	if n.chaosOn() && (n.suspects[recv.LastKnown] || (n.cluster.dirOn && recv.LocStale)) {
+		if n.cluster.dirOn {
+			// The cached location is a suspected node (or was invalidated
+			// when one fell): ask the directory for the decreed home before
+			// giving up on the call.
+			n.dirRerouteInvoke(f, recv, opName, args)
+			return
+		}
 		// The last known host is suspected down: fail fast with the typed
 		// cause instead of blocking on a Return that will not come.
 		n.faultErr(f, ErrNodeDown, fmt.Sprintf("remote invocation of %s on %v: node %d is down",
@@ -252,6 +259,8 @@ func (n *Node) handleMsg(src int, p wire.Payload) {
 		if o, ok := n.objects[p.Target]; ok && !o.Resident && p.Epoch > o.Epoch {
 			o.LastKnown = int(p.Node)
 			o.Epoch = p.Epoch
+			o.LocStale = false
+			o.chained = false
 		}
 	case *wire.Locate:
 		n.recvLocate(src, p)
@@ -259,6 +268,20 @@ func (n *Node) handleMsg(src int, p wire.Payload) {
 		if o, ok := n.objects[p.Target]; ok && !o.Resident && p.Node >= 0 {
 			o.LastKnown = int(p.Node)
 		}
+	case *wire.DirPrepare:
+		n.recvDirPrepare(src, p)
+	case *wire.DirPromise:
+		n.recvDirPromise(src, p)
+	case *wire.DirAccept:
+		n.recvDirAccept(src, p)
+	case *wire.DirAccepted:
+		n.recvDirAccepted(src, p)
+	case *wire.DirLearn:
+		n.recvDirLearn(src, p)
+	case *wire.DirLookup:
+		n.recvDirLookup(src, p)
+	case *wire.DirLookupReply:
+		n.recvDirLookupReply(src, p)
 	default:
 		panic(fmt.Sprintf("kernel: node %d: unhandled message %T", n.ID, p))
 	}
@@ -275,6 +298,9 @@ func (n *Node) forwardIfMoved(src int, target *Obj, p wire.Payload) bool {
 		B: uint64(target.LastKnown), Str: p.Kind().String()})
 	n.cluster.Rec.Metrics().Add("proxy_forwards",
 		obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
+	// This proxy just acted as a chain link: flag it so the directory
+	// compactor rewrites it to the decreed home.
+	target.chained = true
 	n.sendMsg(target.LastKnown, p)
 	n.sendMsg(src, &wire.UpdateLoc{Target: target.OID,
 		Node: int32(target.LastKnown), Epoch: target.Epoch})
@@ -398,9 +424,16 @@ func (n *Node) recvReturn(src int, p *wire.Return) {
 	n.enqueue(f)
 }
 
+// maxLocateHops bounds the forwarding-address walk. A stale-but-live chain
+// converges in at most nodes-1 hops; anything longer is a routing loop from
+// crash-era hints, and the chase fails cleanly instead of ping-ponging.
+const maxLocateHops = 16
+
 // recvLocate answers or chases a location query (forwarding-address walk).
 func (n *Node) recvLocate(src int, p *wire.Locate) {
+	lbl := obs.NodeLabels(n.ID, n.Spec.ID.String())
 	answer := func(node int32) {
+		n.cluster.Rec.Metrics().Add("locate_chase_hops", lbl, uint64(p.Hops))
 		conv := n.cluster.converterFor(n, n.cluster.Nodes[p.Origin].Spec.ID)
 		n.sendMsg(int(p.Origin), &wire.Return{
 			Origin:     int32(n.ID),
@@ -411,10 +444,13 @@ func (n *Node) recvLocate(src int, p *wire.Locate) {
 	switch {
 	case ok && o.Resident:
 		answer(int32(n.ID))
-	case ok && p.Hops < 64:
+	case ok && p.Hops < maxLocateHops:
 		p.Hops++
 		n.sendMsg(o.LastKnown, p)
 	default:
+		if ok {
+			n.cluster.Rec.Metrics().Add("locate_chase_exhausted", lbl, 1)
+		}
 		n.sendMsg(int(p.Origin), &wire.Return{
 			Origin:     int32(n.ID),
 			CallerFrag: p.ReplyFrag, Ok: false,

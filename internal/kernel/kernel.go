@@ -20,6 +20,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/codegen"
 	"repro/internal/codesrv"
+	"repro/internal/dir"
 	"repro/internal/ir"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -171,6 +172,17 @@ type Config struct {
 	// bits of words no execution can read change — so this is on by
 	// default; cmd/emrun's -nosharpen flag clears it.
 	SharpenLiveSets bool
+	// DirReplicas, when > 0, arms the replicated object directory (emdir,
+	// internal/dir): every move commit drives a single-decree Paxos round
+	// recording the object's new home across that many replicas of its
+	// shard, locates consult the directory first (one shard query instead
+	// of a forwarding-address walk), and a background compactor rewrites
+	// stale proxies. 0 (the default) keeps both engines byte-identical to a
+	// directory-free build — no extra messages, metrics, events or timers.
+	DirReplicas int
+	// DirCompactPeriodMicros is the per-node compactor tick period (0
+	// selects DefaultDirCompactMicros).
+	DirCompactPeriodMicros int64
 }
 
 // DefaultConfig returns the standard configuration.
@@ -230,6 +242,11 @@ type Cluster struct {
 	autoEng    *auto.Engine
 	autoCohort map[string]map[string]bool
 	autoPinned map[string]bool
+
+	// Replicated-directory state (see dir.go); dirOn gates every directory
+	// code path so directory-off runs stay byte-identical.
+	dirOn  bool
+	dirCfg dir.Config
 }
 
 // NewCluster builds a cluster of the given machine models. In ModeOriginal
@@ -273,6 +290,9 @@ func NewCluster(prog *codegen.Program, models []netsim.MachineModel, cfg Config)
 		if err := c.armAuto(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.DirReplicas > 0 {
+		c.armDir()
 	}
 	return c, nil
 }
@@ -505,6 +525,15 @@ type Obj struct {
 	Epoch uint32
 	// Proxy state.
 	LastKnown int
+	// LocStale marks a proxy whose LastKnown points at a node that has been
+	// suspected down since we learned it: the cached location may be a
+	// dangling forwarding address. Directory-armed runs re-resolve such
+	// proxies through the directory instead of retrying into the dead node.
+	LocStale bool
+	// chained marks a proxy this node has forwarded traffic through (it sits
+	// inside a forwarding chain); the directory compactor rewrites chained
+	// proxies to point at the decreed home so chains shrink to ≤1 hop.
+	chained bool
 	// transit is the in-flight two-phase move this object is the subject of
 	// (chaos runs only): while set, the object is still resident here but
 	// operations on it park on the transaction and replay after commit or

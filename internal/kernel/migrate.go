@@ -195,8 +195,18 @@ func (n *Node) moveObject(o *Obj, dest int, fix bool) {
 	if n.chaosOn() {
 		if o.transit != nil {
 			// Mid-transit: park and replay once the current move resolves.
+			// The replay must re-check residency: if the move committed,
+			// the object lives elsewhere now and shipping this node's
+			// stale copy would fork it — forward the request instead,
+			// exactly as a parked remote MoveReq would replay.
 			tx := o.transit
-			tx.parked = append(tx.parked, func() { n.moveObject(o, dest, fix) })
+			tx.parked = append(tx.parked, func() {
+				if !o.Resident {
+					n.sendMsg(o.LastKnown, &wire.MoveReq{Target: o.OID, Dest: int32(dest), Fix: fix})
+					return
+				}
+				n.moveObject(o, dest, fix)
+			})
 			return
 		}
 		if n.suspects[dest] {
@@ -250,6 +260,8 @@ func (n *Node) moveArray(o *Obj, dest int, fix bool) {
 	}, tx, sp, func() {
 		o.Resident = false
 		o.LastKnown = dest
+		o.LocStale = false
+		o.chained = false
 		n.Migrations++
 	})
 }
@@ -537,6 +549,8 @@ func (n *Node) movePlain(o *Obj, dest int, fix bool) {
 	n.dispatchMove(dest, msg, tx, sp, func() {
 		o.Resident = false
 		o.LastKnown = dest
+		o.LocStale = false
+		o.chained = false
 		o.Mon = nil
 		n.Migrations++
 	})
@@ -745,6 +759,8 @@ func (n *Node) recvMove(src int, p *wire.Move) {
 	}
 	o.Kind = ObjPlain
 	o.Resident = true
+	o.LocStale = false
+	o.chained = false
 	o.Addr = addr
 	o.Code = lc
 	o.Fixed = p.Fixed
@@ -796,6 +812,8 @@ func (n *Node) installArray(src int, p *wire.Move, conv wire.Converter, hints ma
 	}
 	o.Kind = ObjArray
 	o.Resident = true
+	o.LocStale = false
+	o.chained = false
 	o.Addr = addr
 	o.ElemKind = ir.VK(p.ArrayElemKind)
 	o.Len = length

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
+	"repro/internal/dir"
 	"repro/internal/ir"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -120,6 +121,17 @@ type Node struct {
 	// so the move protocol can locate the frame backing a just-sent Move.
 	lastFrame *pendingFrame
 
+	// Replicated-directory state, live only when Config.DirReplicas > 0
+	// (see dir.go). dirAcc/dirStore are this node's replica roles (acceptor
+	// per decree slot, learner record store); dirProps are decrees this
+	// node is driving as a move source; dirLooks are its outstanding lookup
+	// queries keyed by token.
+	dirAcc   map[dir.Slot]*dir.Acceptor
+	dirStore *dir.Store
+	dirProps map[dir.Slot]*dirProposal
+	dirLooks map[uint32]*dirLookup
+	dirTok   uint32
+
 	callConv  *wire.CallConverter
 	batchConv *wire.BatchedConverter
 	rawConv   *wire.RawConverter
@@ -194,6 +206,11 @@ func newNode(c *Cluster, id int, m netsim.MachineModel) *Node {
 		seenSpans:      map[uint32]bool{},
 		pendingCommits: map[uint32]*moveTxn{},
 		abortedSpans:   map[uint32]bool{},
+
+		dirAcc:   map[dir.Slot]*dir.Acceptor{},
+		dirStore: dir.NewStore(),
+		dirProps: map[dir.Slot]*dirProposal{},
+		dirLooks: map[uint32]*dirLookup{},
 	}
 	n.sched = c.Sim.NodeSched(id)
 	return n

@@ -189,6 +189,10 @@ func (n *Node) heartbeatTick() {
 				Kind: obs.EvNodeSuspect, B: uint64(peer.ID)})
 			n.cluster.Rec.Metrics().Add("node_suspects", obs.NodeLabels(n.ID, n.Spec.ID.String()), 1)
 			n.failWaitersOn(peer.ID)
+			// The peer's forwarding addresses may dangle now: mark every
+			// proxy cached at it stale so directory-armed paths re-resolve
+			// instead of retrying into a dead node.
+			n.invalidateLocationsAt(peer.ID)
 		}
 	}
 }
@@ -256,6 +260,9 @@ func (n *Node) restart() {
 	if n.moveRetryStalled {
 		n.moveRetryStalled = false
 		n.sched.At(0, n.retryPendingMoves)
+	}
+	if n.cluster.dirOn {
+		n.restartDir()
 	}
 	n.schedule()
 }

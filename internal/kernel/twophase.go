@@ -153,6 +153,14 @@ func (n *Node) recvMoveAck(src int, p *wire.MoveAck) {
 		return
 	}
 	if p.Ok {
+		if n.cluster.dirOn {
+			// Third commit participant: record the new home in the
+			// replicated directory before releasing the object, so a
+			// post-crash locate is one shard query. Degraded decrees
+			// still commit — the forwarding chase covers staleness.
+			n.dirProposeMove(tx)
+			return
+		}
 		n.commitMove(tx)
 		return
 	}

@@ -109,6 +109,19 @@ const (
 	// (named by the decision text in Str) to node B; A is the decision
 	// index within the tick.
 	EvAutoDecision
+	// EvDirDecree: Node (a move's source) drove the directory decree for
+	// object Obj to completion — a quorum chose home node B at epoch A.
+	EvDirDecree
+	// EvDirDegraded: the directory round for object Obj gave up (Str says
+	// why: decree attempts exhausted, lookup timeout, all replicas
+	// suspected); the caller fell back to forwarding-address mode.
+	EvDirDegraded
+	// EvDirLookup: Node resolved a directory lookup for object Obj; A is 1
+	// on a hit (B is the recorded home node) and 0 on a miss/degrade.
+	EvDirLookup
+	// EvDirCompact: the background compactor on Node rewrote the stale
+	// proxy for object Obj to point at home node B (epoch A).
+	EvDirCompact
 )
 
 func (k Kind) String() string {
@@ -173,6 +186,14 @@ func (k Kind) String() string {
 		return "move-group-in"
 	case EvAutoDecision:
 		return "auto-decision"
+	case EvDirDecree:
+		return "dir-decree"
+	case EvDirDegraded:
+		return "dir-degraded"
+	case EvDirLookup:
+		return "dir-lookup"
+	case EvDirCompact:
+		return "dir-compact"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -258,6 +279,14 @@ func (e Event) Text() string {
 		return fmt.Sprintf("node%d move-group-in %d objects <- node%d (span %d)", e.Node, e.A, e.B, e.Span)
 	case EvAutoDecision:
 		return fmt.Sprintf("node%d auto-decision #%d: %s -> node%d", e.Node, e.A, e.Str, e.B)
+	case EvDirDecree:
+		return fmt.Sprintf("node%d dir-decree obj%08x @ epoch %d -> node%d", e.Node, e.Obj, e.A, e.B)
+	case EvDirDegraded:
+		return fmt.Sprintf("node%d dir-degraded obj%08x: %s", e.Node, e.Obj, e.Str)
+	case EvDirLookup:
+		return fmt.Sprintf("node%d dir-lookup obj%08x: hit=%d node%d", e.Node, e.Obj, e.A, e.B)
+	case EvDirCompact:
+		return fmt.Sprintf("node%d dir-compact obj%08x -> node%d (epoch %d)", e.Node, e.Obj, e.B, e.A)
 	}
 	return fmt.Sprintf("node%d %s", e.Node, e.Kind)
 }

@@ -31,6 +31,11 @@ func (e *Enc) U32(v uint32) {
 }
 func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
 
+func (e *Enc) U64(v uint64) {
+	e.U32(uint32(v >> 32))
+	e.U32(uint32(v))
+}
+
 // Str appends a length-prefixed byte string.
 func (e *Enc) Str(s []byte) {
 	e.U32(uint32(len(s)))
@@ -111,6 +116,11 @@ func (d *Dec) U32() uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+func (d *Dec) U64() uint64 {
+	hi := d.U32()
+	return uint64(hi)<<32 | uint64(d.U32())
+}
 
 // Str reads a length-prefixed byte string.
 func (d *Dec) Str() []byte {
@@ -216,6 +226,16 @@ const (
 	MUnfixReq                       // unfix/refix control for a remote object
 	MMoveAck                        // destination's install ack for a Move (2PC)
 	MMoveGroup                      // batched cohort move: several Moves in one frame
+	// Directory protocol (emdir): one single-decree Paxos instance per
+	// (oid, epoch) move-commit slot, plus the replicated lookup service.
+	// New kinds append here so older captures stay decodable.
+	MDirPrepare                    // proposer → replica: prepare(slot, ballot)
+	MDirPromise                    // replica → proposer: promise or nack
+	MDirAccept                     // proposer → replica: accept(slot, ballot, home)
+	MDirAccepted                   // replica → proposer: accepted or nack
+	MDirLearn                      // proposer → replica: decree chosen, learn record
+	MDirLookup                     // client → replica: where does OID live?
+	MDirLookupReply                // replica → client: record (or miss)
 )
 
 func (k MsgKind) String() string {
@@ -240,6 +260,20 @@ func (k MsgKind) String() string {
 		return "moveack"
 	case MMoveGroup:
 		return "movegroup"
+	case MDirPrepare:
+		return "dirprepare"
+	case MDirPromise:
+		return "dirpromise"
+	case MDirAccept:
+		return "diraccept"
+	case MDirAccepted:
+		return "diraccepted"
+	case MDirLearn:
+		return "dirlearn"
+	case MDirLookup:
+		return "dirlookup"
+	case MDirLookupReply:
+		return "dirlookupreply"
 	}
 	return fmt.Sprintf("msg(%d)", byte(k))
 }
@@ -330,6 +364,34 @@ func Unmarshal(buf []byte) (*Msg, error) {
 		m.Payload = p
 	case MMoveGroup:
 		p := &MoveGroup{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirPrepare:
+		p := &DirPrepare{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirPromise:
+		p := &DirPromise{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirAccept:
+		p := &DirAccept{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirAccepted:
+		p := &DirAccepted{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirLearn:
+		p := &DirLearn{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirLookup:
+		p := &DirLookup{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirLookupReply:
+		p := &DirLookupReply{}
 		p.unmarshal(&d)
 		m.Payload = p
 	default:
@@ -848,6 +910,205 @@ func (p *MoveGroup) unmarshal(d *Dec) {
 		}
 		p.Inner = append(p.Inner, m)
 	}
+}
+
+// DirPrepare opens a decree round: the proposer (a move's source node)
+// asks a replica of the object's shard to promise ballot for the
+// (Target, Epoch) slot.
+type DirPrepare struct {
+	Target oid.OID
+	Epoch  uint32
+	Ballot uint64
+}
+
+// Kind implements Payload.
+func (p *DirPrepare) Kind() MsgKind { return MDirPrepare }
+
+func (p *DirPrepare) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Epoch)
+	e.U64(p.Ballot)
+}
+
+func (p *DirPrepare) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Epoch = d.U32()
+	p.Ballot = d.U64()
+}
+
+// DirPromise answers a DirPrepare. Ok carries the replica's previously
+// accepted (ballot, home) for the slot so the proposer can adopt it; !Ok
+// is a nack carrying the higher ballot that blocked.
+type DirPromise struct {
+	Target    oid.OID
+	Epoch     uint32
+	Ballot    uint64 // the prepare ballot being answered
+	Ok        bool
+	Promised  uint64 // on nack: the ballot the replica is holding for
+	AccBallot uint64 // on ok: accepted ballot (0 = none)
+	AccNode   int32  // on ok: accepted home node (-1 = none)
+}
+
+// Kind implements Payload.
+func (p *DirPromise) Kind() MsgKind { return MDirPromise }
+
+func (p *DirPromise) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Epoch)
+	e.U64(p.Ballot)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.U64(p.Promised)
+	e.U64(p.AccBallot)
+	e.I32(p.AccNode)
+}
+
+func (p *DirPromise) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Epoch = d.U32()
+	p.Ballot = d.U64()
+	p.Ok = d.U8() != 0
+	p.Promised = d.U64()
+	p.AccBallot = d.U64()
+	p.AccNode = d.I32()
+}
+
+// DirAccept asks a replica to accept the decree value (the object's new
+// home node) at the prepared ballot.
+type DirAccept struct {
+	Target oid.OID
+	Epoch  uint32
+	Ballot uint64
+	Node   int32 // the home node being decreed
+}
+
+// Kind implements Payload.
+func (p *DirAccept) Kind() MsgKind { return MDirAccept }
+
+func (p *DirAccept) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Epoch)
+	e.U64(p.Ballot)
+	e.I32(p.Node)
+}
+
+func (p *DirAccept) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Epoch = d.U32()
+	p.Ballot = d.U64()
+	p.Node = d.I32()
+}
+
+// DirAccepted answers a DirAccept.
+type DirAccepted struct {
+	Target   oid.OID
+	Epoch    uint32
+	Ballot   uint64
+	Ok       bool
+	Promised uint64 // on nack: the blocking ballot
+}
+
+// Kind implements Payload.
+func (p *DirAccepted) Kind() MsgKind { return MDirAccepted }
+
+func (p *DirAccepted) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Epoch)
+	e.U64(p.Ballot)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.U64(p.Promised)
+}
+
+func (p *DirAccepted) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Epoch = d.U32()
+	p.Ballot = d.U64()
+	p.Ok = d.U8() != 0
+	p.Promised = d.U64()
+}
+
+// DirLearn announces a chosen decree to a replica: object Target lives at
+// Node as of Epoch. Learns are idempotent (replicas apply only strictly
+// newer epochs), so the proposer broadcasts them unreliably-at-least-once.
+type DirLearn struct {
+	Target oid.OID
+	Epoch  uint32
+	Node   int32
+}
+
+// Kind implements Payload.
+func (p *DirLearn) Kind() MsgKind { return MDirLearn }
+
+func (p *DirLearn) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Epoch)
+	e.I32(p.Node)
+}
+
+func (p *DirLearn) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Epoch = d.U32()
+	p.Node = d.I32()
+}
+
+// DirLookup asks a replica of the target's shard for its ownership record.
+// Token correlates the reply with the asker's pending query.
+type DirLookup struct {
+	Target oid.OID
+	Token  uint32
+}
+
+// Kind implements Payload.
+func (p *DirLookup) Kind() MsgKind { return MDirLookup }
+
+func (p *DirLookup) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Token)
+}
+
+func (p *DirLookup) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Token = d.U32()
+}
+
+// DirLookupReply answers a DirLookup. !Ok means the replica has no record
+// (the object never moved, or its decrees have not reached this replica).
+type DirLookupReply struct {
+	Target oid.OID
+	Token  uint32
+	Ok     bool
+	Node   int32
+	Epoch  uint32
+}
+
+// Kind implements Payload.
+func (p *DirLookupReply) Kind() MsgKind { return MDirLookupReply }
+
+func (p *DirLookupReply) marshal(e *Enc) {
+	e.OID(p.Target)
+	e.U32(p.Token)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.I32(p.Node)
+	e.U32(p.Epoch)
+}
+
+func (p *DirLookupReply) unmarshal(d *Dec) {
+	p.Target = d.OID()
+	p.Token = d.U32()
+	p.Ok = d.U8() != 0
+	p.Node = d.I32()
+	p.Epoch = d.U32()
 }
 
 // PayloadSize returns the encoded size of p alone (without the Msg

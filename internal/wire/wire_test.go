@@ -261,6 +261,46 @@ func TestMoveReqLocateRoundtrips(t *testing.T) {
 	}
 }
 
+func TestDirMessageRoundtrips(t *testing.T) {
+	for _, p := range []Payload{
+		&DirPrepare{Target: 9, Epoch: 3, Ballot: 0x1_0002_0003},
+		&DirPromise{Target: 9, Epoch: 3, Ballot: 0x1_0002_0003, Ok: true,
+			Promised: 0x1_0002_0003, AccBallot: 0x10001, AccNode: 2},
+		&DirPromise{Target: 9, Epoch: 3, Ballot: 0x10001, Ok: false,
+			Promised: 0x20001, AccNode: -1},
+		&DirAccept{Target: 9, Epoch: 3, Ballot: 0x1_0002_0003, Node: 2},
+		&DirAccepted{Target: 9, Epoch: 3, Ballot: 0x1_0002_0003, Ok: true,
+			Promised: 0x1_0002_0003},
+		&DirLearn{Target: 9, Epoch: 3, Node: 2},
+		&DirLookup{Target: 9, Token: 41},
+		&DirLookupReply{Target: 9, Token: 41, Ok: true, Node: 2, Epoch: 3},
+		&DirLookupReply{Target: 9, Token: 42, Node: -1},
+	} {
+		m := &Msg{Src: 1, Dst: 0, Seq: 1, Payload: p}
+		got := roundtripMsg(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T roundtrip mismatch:\n%+v\n%+v", p, m.Payload, got.Payload)
+		}
+	}
+}
+
+func TestEncDecU64(t *testing.T) {
+	var e Enc
+	e.U64(0xdead_beef_cafe_f00d)
+	if e.Len() != 8 {
+		t.Fatalf("U64 encoded %d bytes", e.Len())
+	}
+	d := Dec{buf: e.Bytes()}
+	if v := d.U64(); v != 0xdead_beef_cafe_f00d || d.Err() != nil {
+		t.Fatalf("U64 roundtrip = %x err=%v", v, d.Err())
+	}
+	short := Dec{buf: e.Bytes()[:5]}
+	short.U64()
+	if short.Err() == nil {
+		t.Fatalf("truncated U64 must error")
+	}
+}
+
 func TestUnmarshalGarbage(t *testing.T) {
 	if _, err := Unmarshal([]byte{0xff, 1, 2, 3}); err == nil {
 		t.Error("unknown kind must fail")
