@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke bench-baselines
+.PHONY: ci build test vet emvet race emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke jit-smoke bench-baselines
 
-ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke
+ci: vet build race emvet emtrace-smoke benchjson-smoke bench-smoke chaos-smoke par-smoke fuzz-smoke pta-smoke auto-smoke dir-smoke jit-smoke
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,16 @@ dir-smoke:
 	$(GO) run ./cmd/embench -out .ci -baseline . dir > /dev/null
 	$(GO) run ./tools/jsoncheck .ci/BENCH_dir.json
 
+# The dispatch-tier study: legacy / predecode / fused superinstructions
+# must agree on every simulated observable, and the deterministic fields
+# of BENCH_jit.json (instrs, cycles, fused run structure) must match the
+# committed baseline. The emulated-MIPS fields are host wall-clock and
+# carry the "host" prefix the comparator skips.
+jit-smoke:
+	mkdir -p .ci
+	$(GO) run ./cmd/embench -out .ci -baseline . jit > /dev/null
+	$(GO) run ./tools/jsoncheck .ci/BENCH_jit.json
+
 # Regenerate the committed BENCH_*.json baselines (run after a deliberate
 # model change, then commit the diff).
 bench-baselines:
@@ -81,6 +91,7 @@ bench-baselines:
 	$(GO) run ./cmd/embench conv > /dev/null
 	$(GO) run ./cmd/embench auto > /dev/null
 	$(GO) run ./cmd/embench dir > /dev/null
+	$(GO) run ./cmd/embench jit > /dev/null
 
 # The kilroy tour under a seeded fault plan — 5% drops, duplicates,
 # delays, corruption and a mid-tour crash/restart of node 2 — must print

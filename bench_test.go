@@ -242,6 +242,55 @@ func BenchmarkEmulatorStep(b *testing.B) {
 	}
 }
 
+// BenchmarkEmulatorFused is the same countdown loop under fused
+// superinstruction dispatch (one compiled run per loop body, register
+// slots cached in executor locals); compare its emulated-MIPS against
+// BenchmarkEmulatorStep's predecoded rate.
+func BenchmarkEmulatorFused(b *testing.B) {
+	for _, spec := range arch.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			mem := make([]byte, 4096)
+			var code []byte
+			var err error
+			emit := func(in arch.Instr) {
+				code, err = arch.Encode(spec, code, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{arch.Imm(100000), arch.Reg(1)}})
+			top := uint32(len(code))
+			emit(arch.Instr{Op: arch.OpMov, N: 2, Operands: [3]arch.Operand{arch.Imm(1), arch.Reg(2)}})
+			emit(arch.Instr{Op: arch.OpSub, N: 3, Operands: [3]arch.Operand{arch.Reg(1), arch.Reg(2), arch.Reg(1)}})
+			emit(arch.Instr{Op: arch.OpBrnz, N: 1, Operands: [3]arch.Operand{arch.Reg(1)}, Target: uint16(top)})
+			emit(arch.Instr{Op: arch.OpRet})
+			pd, err := arch.Predecode(spec, code)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fz := arch.Fuse(spec, pd, arch.PlanFusion(pd, nil))
+			if fz == nil {
+				b.Fatal("countdown loop did not fuse")
+			}
+			var rn arch.FusedRunner
+			b.ResetTimer()
+			instrs := 0
+			for i := 0; i < b.N; i++ {
+				cpu := arch.CPU{FP: 256, TempBase: 512}
+				tr, _, n, err := rn.Run(spec, fz, &cpu, mem, 1<<30)
+				if err != nil || tr == nil || tr.Kind != arch.TrapRet {
+					b.Fatalf("%v %v", tr, err)
+				}
+				instrs += n
+			}
+			instrsPerOp := float64(instrs) / float64(b.N)
+			secsPerOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(instrsPerOp/secsPerOp/1e6, "emulated-MIPS")
+		})
+	}
+}
+
 func BenchmarkCompile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Compile(exp.Mobile13Source); err != nil {

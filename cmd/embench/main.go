@@ -74,6 +74,7 @@ var subcommands = []struct {
 	{"conv", conv},
 	{"ablations", ablations},
 	{"par", par},
+	{"jit", jitStudy},
 	{"auto", autoStudy},
 	{"dir", dirStudy},
 	{"shrink", shrink},
@@ -106,6 +107,25 @@ func dirStudy(outDir string) error {
 	}
 	fmt.Print(exp.FormatDir(rows, desc))
 	path, err := exp.WriteBenchJSON(outDir, "dir", exp.BenchDirDoc(rows, desc))
+	if err != nil {
+		return err
+	}
+	wrote(path)
+	return checkBaseline(path)
+}
+
+// jitStudy measures the three dispatch tiers (legacy / predecode /
+// fused superinstructions) on a compute-bound loop per ISA, writing
+// BENCH_jit.json. The simulated fields are baseline-gated; the emulated-
+// MIPS numbers are host wall-clock, carry the "host" field prefix, and
+// are skipped by the comparator.
+func jitStudy(outDir string) error {
+	rs, err := exp.JitStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatJit(rs))
+	path, err := exp.WriteBenchJSON(outDir, "jit", exp.BenchJitDoc(rs))
 	if err != nil {
 		return err
 	}

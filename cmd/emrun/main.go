@@ -4,7 +4,8 @@
 // Usage:
 //
 //	emrun [-net spec] [-mode enhanced|original|batched|fastpath]
-//	      [-chaos plan] [-parallel] [-auto policy] [-dir n] [-trace] [-stats] file.em
+//	      [-chaos plan] [-parallel] [-auto policy] [-dir n] [-nofuse]
+//	      [-legacy] [-trace] [-stats] file.em
 //
 // The network spec is a comma-separated list of machine models, e.g.
 // "sparc,vax,sun3,hp1,hp2" (default: the paper's Figure 1 network
@@ -28,6 +29,8 @@ func main() {
 	vetLoad := flag.Bool("vetload", false, "nodes vet each code object's mobility metadata before loading it")
 	parallel := flag.Bool("parallel", false, "run each node on its own goroutine (identical results; see DESIGN.md §12)")
 	noSharpen := flag.Bool("nosharpen", false, "disable live-set sharpening (dead frame slots ship stale payload instead of canonical zero)")
+	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (dispatch on the plain predecoded path)")
+	legacy := flag.Bool("legacy", false, "force the byte-at-a-time reference emulator (slowest; identical results)")
 	chaosSpec := flag.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05,dup=0.02,crash=1@20000:50000 (see internal/chaos)")
 	autoPolicy := flag.String("auto", "", "adaptive placement policy: greedy-colocate or load-balance (sequential engine only)")
 	autoPeriod := flag.Int64("auto-period", 0, "placement tick period in simulated µs (0: kernel default)")
@@ -54,6 +57,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen,
+		NoFuse: *noFuse, LegacyDispatch: *legacy,
 		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod, DirReplicas: *dirReplicas}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)

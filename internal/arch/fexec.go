@@ -1,0 +1,194 @@
+// Fused execution state and dispatch loop. fexec is the superinstruction
+// counterpart of dexec: one instance carries a whole run, with the
+// kernel-owned bases (FP, Self, TempBase, LitBase — machine instructions
+// never write them) hoisted once per RunFused call and the run's cached
+// register slots plus temp-stack depth loaded at run entry and written
+// back at run exit or before any trap delivery. Memory writes stay eager:
+// only registers and depth are cached, so the final memory image is
+// byte-identical to the legacy path by construction.
+
+package arch
+
+// fop executes one fused instruction against the shared executor state.
+type fop func(*fexec)
+
+// fexec is the mutable state threaded through a run's closures.
+type fexec struct {
+	s   *Spec
+	cpu *CPU
+	mem []byte
+
+	// Hoisted per RunFused call (kernel-owned, instruction-immutable).
+	fp       uint32
+	self     uint32
+	tempBase uint32
+	litBase  uint32
+	mc       uint32 // s.MemCycles
+
+	// Per-run state.
+	depth  int32     // cached cpu.TempDepth
+	npc    uint32    // next PC; branches redirect it, fallthrough pre-set
+	cycles uint64    // accumulated over the whole RunFused call
+	fault  FaultCode // first fault of the current instruction; 0 = none
+	trap   *Trap     // explicit trap (div-zero, bounds, nil-ref)
+	stop   bool      // terminate the run after the current closure
+	r      [fuseRegSlots]uint32
+}
+
+func (e *fexec) ld32(addr uint32) (uint32, bool) {
+	if int(addr)+4 > len(e.mem) || addr == 0 {
+		return 0, false
+	}
+	return e.s.ByteOrd.Uint32(e.mem[addr : addr+4]), true
+}
+
+func (e *fexec) st32(addr, v uint32) bool {
+	if int(addr)+4 > len(e.mem) || addr == 0 {
+		return false
+	}
+	e.s.ByteOrd.PutUint32(e.mem[addr:addr+4], v)
+	return true
+}
+
+func (e *fexec) readString(ref uint32) ([]byte, bool) {
+	if ref == 0 {
+		return nil, false
+	}
+	n, ok := e.ld32(ref + LenOff)
+	if !ok || int(ref)+ArrDataOff+int(n) > len(e.mem) {
+		return nil, false
+	}
+	return e.mem[ref+ArrDataOff : ref+ArrDataOff+n], true
+}
+
+// setFault records the first fault of the instruction (like dexec) and
+// marks the run stopped. The current closure keeps executing — Step's
+// contract lets e.g. a Mov's write run after a faulted read — and the
+// run loop delivers the fault trap once the closure returns.
+func (e *fexec) setFault(f FaultCode) uint32 {
+	if e.fault == 0 {
+		e.fault = f
+	}
+	e.stop = true
+	return 0
+}
+
+// fuseTrap stops the run with an explicit fault trap at next-PC npc
+// (the early-return trap cases of dexec.exec: bounds, nil-ref).
+func (e *fexec) fuseTrap(f FaultCode, npc uint32) {
+	e.trap = &Trap{Kind: TrapFault, Fault: f, PC: npc}
+	e.stop = true
+}
+
+// exec runs one fused run to completion or early stop. Returns the trap
+// (nil on normal exit or budget-free completion) and the number of
+// instructions executed. cpu.PC must equal the run head on entry.
+func (fr *fusedRun) exec(e *fexec) (*Trap, int) {
+	cpu := e.cpu
+	for i, m := range fr.regs {
+		e.r[i] = cpu.Regs[m]
+	}
+	e.depth = cpu.TempDepth
+	e.npc = fr.end
+	e.fault = 0
+	e.trap = nil
+	e.stop = false
+	for i := 0; i < len(fr.ops); i++ {
+		fr.ops[i](e)
+		if e.stop {
+			// Write-back discipline: cached slots and depth reconverge
+			// before the trap becomes visible, so the kernel (and any
+			// migration snapshot) sees exactly the legacy-path state.
+			for k, m := range fr.regs {
+				cpu.Regs[m] = e.r[k]
+			}
+			cpu.TempDepth = e.depth
+			// Like Step, a faulting instruction leaves cpu.PC at its own
+			// start; the trap's PC is the next instruction.
+			cpu.PC = fr.pcs[i]
+			tr := e.trap
+			if tr == nil {
+				tr = &Trap{Kind: TrapFault, Fault: e.fault, PC: fr.npcs[i]}
+			}
+			return tr, i + 1
+		}
+	}
+	for k, m := range fr.regs {
+		cpu.Regs[m] = e.r[k]
+	}
+	cpu.TempDepth = e.depth
+	cpu.PC = e.npc
+	return nil, len(fr.ops)
+}
+
+// FusedRunner executes fused programs. It exists so steady-state
+// dispatch allocates nothing: the executor state (including the register
+// cache array the closures capture through the *fexec) lives in the
+// runner, and a kernel node reuses one runner across every slice it
+// runs. The zero value is ready to use. Not safe for concurrent use.
+type FusedRunner struct {
+	e fexec
+	d dexec
+}
+
+// Run executes up to budget instructions of fz, dispatching whole runs
+// at run-head PCs and falling back to the per-instruction path (and,
+// off the decode grid, to Step) everywhere else — including when the
+// remaining budget cannot cover the next run, so budget semantics match
+// RunPredecoded exactly. Observables (traps, faults, cycles, instruction
+// counts, memory and register effects) are byte-identical to RunLegacy,
+// which the differential suite pins.
+func (rn *FusedRunner) Run(s *Spec, fz *Fused, cpu *CPU, mem []byte, budget int) (*Trap, uint64, int, error) {
+	p := fz.p
+	e := &rn.e
+	e.s, e.cpu, e.mem = s, cpu, mem
+	e.fp, e.self = cpu.FP, cpu.Self
+	e.tempBase, e.litBase = cpu.TempBase, cpu.LitBase
+	e.mc = s.MemCycles
+	e.cycles = 0
+	d := &rn.d
+	d.s, d.cpu, d.mem = s, cpu, mem
+	for n := 0; n < budget; {
+		pc := cpu.PC
+		if int64(pc) < int64(len(fz.at)) {
+			if ri := fz.at[pc]; ri >= 0 {
+				fr := &fz.runs[ri]
+				if budget-n >= len(fr.ops) {
+					tr, did := fr.exec(e)
+					n += did
+					if tr != nil {
+						return tr, e.cycles, n, nil
+					}
+					continue
+				}
+			}
+		}
+		var (
+			tr  *Trap
+			c   uint32
+			err error
+		)
+		if int64(pc) < int64(len(p.index)) && p.index[pc] >= 0 {
+			tr, c, err = d.exec(&p.instrs[p.index[pc]], pc)
+		} else {
+			tr, c, err = Step(s, cpu, p.code, mem)
+		}
+		e.cycles += uint64(c)
+		n++
+		if err != nil {
+			return nil, e.cycles, n, err
+		}
+		if tr != nil {
+			return tr, e.cycles, n, nil
+		}
+	}
+	return nil, e.cycles, budget, nil
+}
+
+// RunFused is the convenience form for callers without a long-lived
+// runner (tests, benchmarks). Kernel nodes hold a FusedRunner instead so
+// dispatch stays allocation-free.
+func RunFused(s *Spec, fz *Fused, cpu *CPU, mem []byte, budget int) (*Trap, uint64, int, error) {
+	var rn FusedRunner
+	return rn.Run(s, fz, cpu, mem, budget)
+}

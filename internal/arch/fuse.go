@@ -1,0 +1,767 @@
+// Superinstruction fusion: the paper's mobility contract only requires
+// machine-dependent state to reconverge at bus stops, so everything
+// *between* stops may be optimized freely. The predecoded dispatcher
+// (predecode.go) still pays per-instruction costs — a table lookup, a
+// call into exec, and an operand-mode switch per read/write. Fusion
+// removes them for straight-line code: PlanFusion partitions a decoded
+// function into maximal runs whose interiors contain no bus stop, no
+// branch target and no always-trapping instruction, and Fuse compiles
+// each run once into a chain of operand-pre-resolved closures that a
+// single table lookup dispatches end to end, with the run's register
+// slots cached in executor locals and written back only at run exit or
+// on a fault path (see fexec.go and DESIGN.md §16).
+//
+// Step remains the semantic oracle: any PC that is not a run head — a
+// migration resume mid-run, a computed jump into an encoding, a slice
+// budget too small for the next run — executes on the existing
+// per-instruction path, so observable behavior (traps, faults, cycle
+// charges, memory images, event streams) is byte-identical to RunLegacy.
+
+package arch
+
+import (
+	"bytes"
+	"sync/atomic"
+)
+
+// minFuseRun is the shortest stretch worth compiling: a single
+// instruction gains nothing over the per-instruction path and would pay
+// the run entry/exit register traffic.
+const minFuseRun = 2
+
+// fuseRegSlots bounds how many distinct registers one run caches in
+// executor locals; runs touching more fall back to direct CPU-struct
+// access for the overflow registers (still exact, just not cached).
+const fuseRegSlots = 8
+
+// fuseBuilds counts Fuse invocations process-wide; the kernel tests pin
+// "fusion runs exactly once per loadedFunc" against deltas of it.
+var fuseBuilds atomic.Uint64
+
+// FuseBuildCount reports how many times Fuse has compiled a fusion plan
+// into a fused program since process start.
+func FuseBuildCount() uint64 { return fuseBuilds.Load() }
+
+// PlanRun is one superinstruction run boundary: N consecutive decoded
+// instructions starting at PC Head.
+type PlanRun struct {
+	Head uint32
+	N    int32
+}
+
+// FusePlan records the run boundaries of one predecoded function. It is
+// machine-metadata only (no closures), so the code generator stamps it
+// next to FuncCode.Decoded at compile time and every node that loads the
+// function reuses it.
+type FusePlan struct {
+	Runs []PlanRun
+}
+
+// alwaysTraps reports ops that unconditionally (or, for OpPoll,
+// preemption-dependently) enter the kernel: every such site is a bus
+// stop and must terminate a run before it.
+func alwaysTraps(op Op) bool {
+	return op == OpPoll || op == OpRet || op == OpTrap || op == OpUnlq
+}
+
+func isBranch(op Op) bool { return op == OpJmp || op == OpBrz || op == OpBrnz }
+
+// PlanFusion computes run boundaries over a predecoded function. A run
+// head is PC 0, a branch target, a bus-stop PC (stopPCs), or the first
+// instruction after a terminator; a run ends at (and includes) a branch,
+// or before a run head, an always-trapping instruction, or end of code.
+// Faulting-capable instructions (memory operands, div/mod, string and
+// array ops) are allowed in interiors: the fused executor writes cached
+// state back before delivering their trap (fexec.go).
+func PlanFusion(p *Predecoded, stopPCs []uint32) *FusePlan {
+	plan := &FusePlan{}
+	n := len(p.instrs)
+	if n == 0 {
+		return plan
+	}
+	starts := make([]uint32, n)
+	pc := uint32(0)
+	for i := range p.instrs {
+		starts[i] = pc
+		pc += p.instrs[i].Size
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range p.instrs {
+		if isBranch(p.instrs[i].Op) {
+			if j := p.indexAt(uint32(p.instrs[i].Target)); j >= 0 {
+				leader[j] = true
+			}
+		}
+	}
+	for _, spc := range stopPCs {
+		if j := p.indexAt(spc); j >= 0 {
+			leader[j] = true
+		}
+	}
+	for i := 0; i < n; {
+		if alwaysTraps(p.instrs[i].Op) {
+			i++
+			continue
+		}
+		j := i
+		for {
+			if isBranch(p.instrs[j].Op) {
+				j++ // branch terminates the run and belongs to it
+				break
+			}
+			j++
+			if j >= n || leader[j] || alwaysTraps(p.instrs[j].Op) {
+				break
+			}
+		}
+		if j-i >= minFuseRun {
+			plan.Runs = append(plan.Runs, PlanRun{Head: starts[i], N: int32(j - i)})
+		}
+		i = j
+	}
+	return plan
+}
+
+// Fused is one function's compiled superinstruction program: the
+// predecoded cache plus, for each planned run, a closure chain with
+// pre-resolved operands. Like Predecoded it is immutable once built and
+// safe to share across goroutines; all mutable execution state lives in
+// the caller's FusedRunner.
+type Fused struct {
+	p    *Predecoded
+	runs []fusedRun
+	at   []int32 // PC -> run index for run heads; -1 otherwise
+}
+
+// fusedRun is one compiled run.
+type fusedRun struct {
+	ops  []fop
+	regs []byte   // cache slot i holds machine register regs[i]
+	pcs  []uint32 // per-op start PC (fault-path CPU.PC, like Step)
+	npcs []uint32 // per-op next PC (fault-path trap PC)
+	end  uint32   // fallthrough PC after the last instruction
+}
+
+// NumRuns reports how many runs were compiled.
+func (fz *Fused) NumRuns() int { return len(fz.runs) }
+
+// RunLens returns the instruction count of every compiled run.
+func (fz *Fused) RunLens() []int {
+	out := make([]int, len(fz.runs))
+	for i := range fz.runs {
+		out[i] = len(fz.runs[i].ops)
+	}
+	return out
+}
+
+// Fuse compiles a fusion plan into a fused program for one spec. s must
+// be the spec p was predecoded for (cycle charges and float codecs are
+// baked into the closures). Returns nil when the plan yields no
+// compilable run, in which case callers dispatch over p directly. Fuse
+// runs once per loaded function — re-fusing on migration re-install
+// would be pure waste, which FuseBuildCount lets tests pin.
+func Fuse(s *Spec, p *Predecoded, plan *FusePlan) *Fused {
+	fuseBuilds.Add(1)
+	if p == nil || plan == nil || len(plan.Runs) == 0 {
+		return nil
+	}
+	fz := &Fused{p: p, at: make([]int32, len(p.code))}
+	for i := range fz.at {
+		fz.at[i] = -1
+	}
+	for _, pr := range plan.Runs {
+		fz.compileRun(s, pr)
+	}
+	if len(fz.runs) == 0 {
+		return nil
+	}
+	return fz
+}
+
+func (fz *Fused) compileRun(s *Spec, pr PlanRun) {
+	idx := fz.p.indexAt(pr.Head)
+	if idx < 0 {
+		return
+	}
+	b := &fuser{s: s}
+	for i := range b.slotOf {
+		b.slotOf[i] = -1
+	}
+	var fr fusedRun
+	pc := pr.Head
+	for k := 0; k < int(pr.N) && int(idx)+k < len(fz.p.instrs); k++ {
+		in := &fz.p.instrs[int(idx)+k]
+		npc := pc + in.Size
+		op := b.fuseInstr(in, npc)
+		if op == nil {
+			break // defensive: plan included an uncompilable op
+		}
+		fr.ops = append(fr.ops, op)
+		fr.pcs = append(fr.pcs, pc)
+		fr.npcs = append(fr.npcs, npc)
+		pc = npc
+	}
+	if len(fr.ops) < minFuseRun {
+		return
+	}
+	fr.end = pc
+	fr.regs = b.regs
+	fz.at[pr.Head] = int32(len(fz.runs))
+	fz.runs = append(fz.runs, fr)
+}
+
+// fuser compiles one run's instructions, allocating register cache slots
+// on first touch. A register either gets a slot (and every access in the
+// run goes through it) or, past fuseRegSlots distinct registers, is
+// accessed directly in the CPU struct — never both, so the two views
+// cannot diverge.
+type fuser struct {
+	s      *Spec
+	regs   []byte
+	slotOf [16]int8
+}
+
+func (b *fuser) regSlot(r byte) int {
+	r &= 0xf
+	if si := b.slotOf[r]; si >= 0 {
+		return int(si)
+	}
+	if len(b.regs) >= fuseRegSlots {
+		return -1
+	}
+	si := len(b.regs)
+	b.regs = append(b.regs, r)
+	b.slotOf[r] = int8(si)
+	return si
+}
+
+// rdFn/wrFn are pre-resolved operand accessors: the addressing-mode
+// switch of dexec.read/write runs once at fuse time, not per execution.
+type (
+	rdFn func(*fexec) uint32
+	wrFn func(*fexec, uint32)
+)
+
+// rd builds a source-operand reader with dexec.read's exact semantics
+// (cycle charges before the access, Pop's depth decrement before the
+// load, first-fault-wins recording).
+func (b *fuser) rd(o *Operand) rdFn {
+	switch o.Mode {
+	case ModeImm:
+		v := o.Imm
+		return func(*fexec) uint32 { return v }
+	case ModeReg:
+		if si := b.regSlot(o.Reg); si >= 0 {
+			return func(e *fexec) uint32 { return e.r[si] }
+		}
+		k := o.Reg & 0xf
+		return func(e *fexec) uint32 { return e.cpu.Regs[k] }
+	case ModeFrame:
+		d := uint32(o.Disp)
+		return func(e *fexec) uint32 {
+			e.cycles += uint64(e.mc)
+			v, ok := e.ld32(e.fp + d)
+			if !ok {
+				return e.setFault(FaultStack)
+			}
+			return v
+		}
+	case ModeSelf:
+		d := ObjDataOff + uint32(o.Disp)
+		return func(e *fexec) uint32 {
+			e.cycles += uint64(e.mc)
+			v, ok := e.ld32(e.self + d)
+			if !ok {
+				return e.setFault(FaultNilRef)
+			}
+			return v
+		}
+	case ModeLit:
+		d := 4 * uint32(o.Disp)
+		return func(e *fexec) uint32 {
+			e.cycles += uint64(e.mc)
+			v, ok := e.ld32(e.litBase + d)
+			if !ok {
+				return e.setFault(FaultNilRef)
+			}
+			return v
+		}
+	case ModePop:
+		return func(e *fexec) uint32 {
+			e.cycles += uint64(e.mc)
+			if e.depth <= 0 {
+				return e.setFault(FaultStack)
+			}
+			e.depth--
+			v, ok := e.ld32(e.tempBase + 4*uint32(e.depth))
+			if !ok {
+				return e.setFault(FaultStack)
+			}
+			return v
+		}
+	}
+	return func(e *fexec) uint32 { return e.setFault(FaultStack) }
+}
+
+// wr builds a destination-operand writer with dexec.write's exact
+// semantics (Push increments depth only after a successful store).
+func (b *fuser) wr(o *Operand) wrFn {
+	switch o.Mode {
+	case ModeReg:
+		if si := b.regSlot(o.Reg); si >= 0 {
+			return func(e *fexec, v uint32) { e.r[si] = v }
+		}
+		k := o.Reg & 0xf
+		return func(e *fexec, v uint32) { e.cpu.Regs[k] = v }
+	case ModeFrame:
+		d := uint32(o.Disp)
+		return func(e *fexec, v uint32) {
+			e.cycles += uint64(e.mc)
+			if !e.st32(e.fp+d, v) {
+				e.setFault(FaultStack)
+			}
+		}
+	case ModeSelf:
+		d := ObjDataOff + uint32(o.Disp)
+		return func(e *fexec, v uint32) {
+			e.cycles += uint64(e.mc)
+			if !e.st32(e.self+d, v) {
+				e.setFault(FaultNilRef)
+			}
+		}
+	case ModePush:
+		return func(e *fexec, v uint32) {
+			e.cycles += uint64(e.mc)
+			if !e.st32(e.tempBase+4*uint32(e.depth), v) {
+				e.setFault(FaultStack)
+			} else {
+				e.depth++
+			}
+		}
+	}
+	return func(e *fexec, _ uint32) { e.setFault(FaultStack) }
+}
+
+// regOperand reports the cache slot of a register operand, or -1.
+func (b *fuser) regOperand(o *Operand) int {
+	if o.Mode != ModeReg {
+		return -1
+	}
+	return b.regSlot(o.Reg)
+}
+
+// fuseInstr compiles one instruction into a closure, or nil when the op
+// cannot live inside a run (always-trapping ops, unknown ops). Each
+// closure mirrors the matching dexec.exec case: operand evaluation
+// order, fault precedence, cycle charges and next-PC rules are
+// identical, which the differential tests pin.
+func (b *fuser) fuseInstr(in *Instr, npc uint32) fop {
+	s := b.s
+	cyc := uint64(s.Cycles[in.Op])
+	switch in.Op {
+	case OpMov:
+		// Hot flat forms first: immediate or register moves between cached
+		// slots compile to straight assignments.
+		if di := b.regOperand(&in.Operands[1]); di >= 0 {
+			if in.Operands[0].Mode == ModeImm {
+				v := in.Operands[0].Imm
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[di] = v
+				}
+			}
+			if si := b.regOperand(&in.Operands[0]); si >= 0 {
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[di] = e.r[si]
+				}
+			}
+		}
+		rd := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[1])
+		// Like Step, the write runs even when the read faulted (storing 0
+		// with all its side effects); the run stops right after.
+		return func(e *fexec) {
+			e.cycles += cyc
+			wr(e, rd(e))
+		}
+
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpScc:
+		op, cc := in.Op, in.CC
+		s1 := b.regOperand(&in.Operands[0])
+		s2 := b.regOperand(&in.Operands[1])
+		sd := b.regOperand(&in.Operands[2])
+		if s1 >= 0 && s2 >= 0 && sd >= 0 {
+			// All-register form: no operand can fault, so the closure is a
+			// straight computation on cached slots.
+			switch op {
+			case OpAdd:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[sd] = uint32(int32(e.r[s1]) + int32(e.r[s2]))
+				}
+			case OpSub:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[sd] = uint32(int32(e.r[s1]) - int32(e.r[s2]))
+				}
+			case OpMul:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[sd] = uint32(int32(e.r[s1]) * int32(e.r[s2]))
+				}
+			case OpAnd:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[sd] = boolW(e.r[s1] != 0 && e.r[s2] != 0)
+				}
+			case OpOr:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[sd] = boolW(e.r[s1] != 0 || e.r[s2] != 0)
+				}
+			case OpScc:
+				return func(e *fexec) {
+					e.cycles += cyc
+					a, bb := e.r[s1], e.r[s2]
+					e.r[sd] = ccHolds(cc, int32(a) < int32(bb), a == bb)
+				}
+			case OpDiv:
+				return func(e *fexec) {
+					e.cycles += cyc
+					bb := e.r[s2]
+					if bb == 0 {
+						e.trap = &Trap{Kind: TrapFault, Fault: FaultDivZero, PC: npc}
+						e.stop = true
+						return
+					}
+					e.r[sd] = uint32(int32(e.r[s1]) / int32(bb))
+				}
+			case OpMod:
+				return func(e *fexec) {
+					e.cycles += cyc
+					bb := e.r[s2]
+					if bb == 0 {
+						e.trap = &Trap{Kind: TrapFault, Fault: FaultDivZero, PC: npc}
+						e.stop = true
+						return
+					}
+					e.r[sd] = uint32(int32(e.r[s1]) % int32(bb))
+				}
+			}
+		}
+		// General form: src2 (stack top) evaluated before src1, write
+		// suppressed after a fault, like dexec.
+		rd2 := b.rd(&in.Operands[1])
+		rd1 := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[2])
+		return func(e *fexec) {
+			e.cycles += cyc
+			bb := rd2(e)
+			a := rd1(e)
+			if e.fault != 0 {
+				return
+			}
+			var v uint32
+			switch op {
+			case OpAdd:
+				v = uint32(int32(a) + int32(bb))
+			case OpSub:
+				v = uint32(int32(a) - int32(bb))
+			case OpMul:
+				v = uint32(int32(a) * int32(bb))
+			case OpDiv:
+				if bb == 0 {
+					e.trap = &Trap{Kind: TrapFault, Fault: FaultDivZero, PC: npc}
+					e.stop = true
+					return
+				}
+				v = uint32(int32(a) / int32(bb))
+			case OpMod:
+				if bb == 0 {
+					e.trap = &Trap{Kind: TrapFault, Fault: FaultDivZero, PC: npc}
+					e.stop = true
+					return
+				}
+				v = uint32(int32(a) % int32(bb))
+			case OpAnd:
+				v = boolW(a != 0 && bb != 0)
+			case OpOr:
+				v = boolW(a != 0 || bb != 0)
+			case OpScc:
+				v = ccHolds(cc, int32(a) < int32(bb), a == bb)
+			}
+			wr(e, v)
+		}
+
+	case OpNeg, OpAbs, OpNot:
+		op := in.Op
+		if si, di := b.regOperand(&in.Operands[0]), b.regOperand(&in.Operands[1]); si >= 0 && di >= 0 {
+			switch op {
+			case OpNeg:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[di] = uint32(-int32(e.r[si]))
+				}
+			case OpAbs:
+				return func(e *fexec) {
+					e.cycles += cyc
+					x := int32(e.r[si])
+					if x < 0 {
+						x = -x
+					}
+					e.r[di] = uint32(x)
+				}
+			case OpNot:
+				return func(e *fexec) {
+					e.cycles += cyc
+					e.r[di] = boolW(e.r[si] == 0)
+				}
+			}
+		}
+		rd := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[1])
+		return func(e *fexec) {
+			e.cycles += cyc
+			a := rd(e)
+			if e.fault != 0 {
+				return
+			}
+			var v uint32
+			switch op {
+			case OpNeg:
+				v = uint32(-int32(a))
+			case OpAbs:
+				x := int32(a)
+				if x < 0 {
+					x = -x
+				}
+				v = uint32(x)
+			case OpNot:
+				v = boolW(a == 0)
+			}
+			wr(e, v)
+		}
+
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFScc:
+		op, cc, fl := in.Op, in.CC, s.Float
+		rd2 := b.rd(&in.Operands[1])
+		rd1 := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[2])
+		return func(e *fexec) {
+			e.cycles += cyc
+			bb := fl.Dec(rd2(e))
+			a := fl.Dec(rd1(e))
+			if e.fault != 0 {
+				return
+			}
+			switch op {
+			case OpFAdd:
+				wr(e, fl.Enc(a+bb))
+			case OpFSub:
+				wr(e, fl.Enc(a-bb))
+			case OpFMul:
+				wr(e, fl.Enc(a*bb))
+			case OpFDiv:
+				if bb == 0 {
+					e.trap = &Trap{Kind: TrapFault, Fault: FaultDivZero, PC: npc}
+					e.stop = true
+					return
+				}
+				wr(e, fl.Enc(a/bb))
+			case OpFScc:
+				wr(e, ccHolds(cc, a < bb, a == bb))
+			}
+		}
+
+	case OpFNeg:
+		fl := s.Float
+		rd := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[1])
+		return func(e *fexec) {
+			e.cycles += cyc
+			a := fl.Dec(rd(e))
+			if e.fault != 0 {
+				return
+			}
+			wr(e, fl.Enc(-a))
+		}
+
+	case OpCvt:
+		fl := s.Float
+		rd := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[1])
+		return func(e *fexec) {
+			e.cycles += cyc
+			a := int32(rd(e))
+			if e.fault != 0 {
+				return
+			}
+			wr(e, fl.Enc(float32(a)))
+		}
+
+	case OpSScc:
+		cc := in.CC
+		rd2 := b.rd(&in.Operands[1])
+		rd1 := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[2])
+		return func(e *fexec) {
+			e.cycles += cyc
+			bref := rd2(e)
+			aref := rd1(e)
+			if e.fault != 0 {
+				return
+			}
+			as, ok1 := e.readString(aref)
+			bs, ok2 := e.readString(bref)
+			if !ok1 || !ok2 {
+				e.trap = &Trap{Kind: TrapFault, Fault: FaultNilRef, PC: npc}
+				e.stop = true
+				return
+			}
+			e.cycles += uint64(min(len(as), len(bs)))
+			c := bytes.Compare(as, bs)
+			wr(e, ccHolds(cc, c < 0, c == 0))
+		}
+
+	case OpJmp:
+		target := uint32(in.Target)
+		return func(e *fexec) {
+			e.cycles += cyc
+			e.npc = target
+		}
+
+	case OpBrz, OpBrnz:
+		wantZero := in.Op == OpBrz
+		target := uint32(in.Target)
+		if si := b.regOperand(&in.Operands[0]); si >= 0 {
+			return func(e *fexec) {
+				e.cycles += cyc
+				if (e.r[si] == 0) == wantZero {
+					e.npc = target
+					e.cycles++ // taken-branch penalty
+				}
+			}
+		}
+		rd := b.rd(&in.Operands[0])
+		return func(e *fexec) {
+			e.cycles += cyc
+			v := rd(e)
+			if e.fault != 0 {
+				return
+			}
+			if (v == 0) == wantZero {
+				e.npc = target
+				e.cycles++
+			}
+		}
+
+	case OpALoad:
+		rdIdx := b.rd(&in.Operands[1])
+		rdArr := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[2])
+		return func(e *fexec) {
+			e.cycles += cyc
+			idx := rdIdx(e)
+			arr := rdArr(e)
+			if e.fault != 0 {
+				return
+			}
+			if arr == 0 {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			n, ok := e.ld32(arr + LenOff)
+			if !ok {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			if idx >= n {
+				e.fuseTrap(FaultBounds, npc)
+				return
+			}
+			v, ok := e.ld32(arr + ArrDataOff + 4*idx)
+			if !ok {
+				e.fuseTrap(FaultBounds, npc)
+				return
+			}
+			wr(e, v)
+		}
+
+	case OpAStor:
+		rdVal := b.rd(&in.Operands[2])
+		rdIdx := b.rd(&in.Operands[1])
+		rdArr := b.rd(&in.Operands[0])
+		return func(e *fexec) {
+			e.cycles += cyc
+			v := rdVal(e)
+			idx := rdIdx(e)
+			arr := rdArr(e)
+			if e.fault != 0 {
+				return
+			}
+			if arr == 0 {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			n, ok := e.ld32(arr + LenOff)
+			if !ok {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			if idx >= n {
+				e.fuseTrap(FaultBounds, npc)
+				return
+			}
+			if !e.st32(arr+ArrDataOff+4*idx, v) {
+				e.fuseTrap(FaultBounds, npc)
+			}
+		}
+
+	case OpALen, OpSLen:
+		rd := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[1])
+		return func(e *fexec) {
+			e.cycles += cyc
+			ref := rd(e)
+			if e.fault != 0 {
+				return
+			}
+			if ref == 0 {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			n, ok := e.ld32(ref + LenOff)
+			if !ok {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			wr(e, n)
+		}
+
+	case OpSIdx:
+		rdIdx := b.rd(&in.Operands[1])
+		rdRef := b.rd(&in.Operands[0])
+		wr := b.wr(&in.Operands[2])
+		return func(e *fexec) {
+			e.cycles += cyc
+			idx := rdIdx(e)
+			ref := rdRef(e)
+			if e.fault != 0 {
+				return
+			}
+			str, ok := e.readString(ref)
+			if !ok {
+				e.fuseTrap(FaultNilRef, npc)
+				return
+			}
+			if idx >= uint32(len(str)) {
+				e.fuseTrap(FaultBounds, npc)
+				return
+			}
+			wr(e, uint32(str[idx]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package arch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func fuseCountdown(t testing.TB, s *Spec, iters uint32) ([]byte, *Predecoded, *Fused) {
+	t.Helper()
+	code := buildCountdown(t, s, iters)
+	pd, err := Predecode(s, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz := Fuse(s, pd, PlanFusion(pd, nil))
+	if fz == nil {
+		t.Fatal("countdown loop did not fuse")
+	}
+	return code, pd, fz
+}
+
+// The countdown loop has exactly one fusable run: the three-instruction
+// loop body (mov, sub, brnz). The entry mov is a lone leader (below
+// minFuseRun) and ret is a bus stop.
+func TestFusePlanCountdown(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			_, _, fz := fuseCountdown(t, s, 10)
+			if fz.NumRuns() != 1 {
+				t.Fatalf("runs = %d, want 1", fz.NumRuns())
+			}
+			if lens := fz.RunLens(); lens[0] != 3 {
+				t.Errorf("run length = %d, want 3 (mov, sub, brnz)", lens[0])
+			}
+		})
+	}
+}
+
+// A bus stop inside what would otherwise be straight-line code must
+// split the run: stop PCs are where migration snapshots happen, so a
+// fused run may never cross one.
+func TestFusePlanSplitsAtStops(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code := buildCountdown(t, s, 10)
+			pd, err := Predecode(s, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pretend the sub (third instruction) is a stop PC.
+			var pcs []uint32
+			pc := uint32(0)
+			for i := 0; i < pd.NumInstrs(); i++ {
+				pcs = append(pcs, pc)
+				pc += pd.instrs[i].Size
+			}
+			plan := PlanFusion(pd, []uint32{pcs[2]})
+			for _, r := range plan.Runs {
+				if r.Head < pcs[2] && r.Head+1 > pcs[2] {
+					t.Errorf("run at %#x crosses stop %#x", r.Head, pcs[2])
+				}
+				if r.Head == pcs[1] && r.N > 1 {
+					t.Errorf("run at loop top spans the stop: N=%d", r.N)
+				}
+			}
+		})
+	}
+}
+
+// Steady-state fused dispatch must not allocate: closures are built once
+// at Fuse time and all mutable state lives in the reusable FusedRunner.
+func TestFusedDispatchSteadyStateAllocs(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			_, _, fz := fuseCountdown(t, s, 1_000_000)
+			mem := make([]byte, 4096)
+			var cpu CPU
+			var rn FusedRunner // lives in the node, outside the slice loop
+			got := testing.AllocsPerRun(100, func() {
+				cpu = CPU{FP: 256, TempBase: 512}
+				tr, _, _, err := rn.Run(s, fz, &cpu, mem, 5000)
+				if err != nil || tr != nil {
+					t.Fatalf("unexpected stop: %v %v", tr, err)
+				}
+			})
+			if got != 0 {
+				t.Errorf("fused dispatch allocates %.1f allocs/run, want 0", got)
+			}
+		})
+	}
+}
+
+// Run the countdown to completion under fused and legacy dispatch and
+// compare every observable.
+func TestFusedMatchesLegacyToCompletion(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code, _, fz := fuseCountdown(t, s, 1000)
+			mem1 := make([]byte, 4096)
+			mem2 := make([]byte, 4096)
+			cpu1 := CPU{FP: 256, TempBase: 512}
+			cpu2 := cpu1
+			tr1, cy1, n1, err1 := RunFused(s, fz, &cpu1, mem1, 1<<30)
+			tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, 1<<30)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v %v", err1, err2)
+			}
+			if tr1 == nil || tr2 == nil || *tr1 != *tr2 {
+				t.Fatalf("traps: %+v vs %+v", tr1, tr2)
+			}
+			if cy1 != cy2 || n1 != n2 || cpu1 != cpu2 {
+				t.Errorf("state: %d/%d/%+v vs %d/%d/%+v", cy1, n1, cpu1, cy2, n2, cpu2)
+			}
+			if !bytes.Equal(mem1, mem2) {
+				t.Errorf("memory images differ")
+			}
+		})
+	}
+}
+
+// Migration resume can land on ANY PC — a run head, the middle of a run,
+// or even mid-encoding. Sweep every byte offset as a start PC and demand
+// byte-identical observables against the legacy loop. Mid-run PCs
+// exercise the per-instruction fallback; mid-encoding PCs exercise the
+// Step fallback below it.
+func TestFusedResumeSweepMatchesLegacy(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code, _, fz := fuseCountdown(t, s, 5)
+			for pc := uint32(0); pc <= uint32(len(code)); pc++ {
+				mem1 := make([]byte, 4096)
+				mem2 := make([]byte, 4096)
+				cpu1 := CPU{PC: pc, FP: 256, TempBase: 512, Regs: [16]uint32{1: 7, 2: 7}}
+				cpu2 := cpu1
+				tr1, cy1, n1, err1 := RunFused(s, fz, &cpu1, mem1, 200)
+				tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, 200)
+				if (err1 == nil) != (err2 == nil) ||
+					(err1 != nil && err1.Error() != err2.Error()) {
+					t.Fatalf("pc=%d: error mismatch: %v vs %v", pc, err1, err2)
+				}
+				if cy1 != cy2 || n1 != n2 {
+					t.Errorf("pc=%d: cycles/instrs %d/%d vs %d/%d", pc, cy1, n1, cy2, n2)
+				}
+				if (tr1 == nil) != (tr2 == nil) || (tr1 != nil && *tr1 != *tr2) {
+					t.Errorf("pc=%d: traps %+v vs %+v", pc, tr1, tr2)
+				}
+				if cpu1 != cpu2 {
+					t.Errorf("pc=%d: cpu %+v vs %+v", pc, cpu1, cpu2)
+				}
+				if !bytes.Equal(mem1, mem2) {
+					t.Errorf("pc=%d: memory images differ", pc)
+				}
+			}
+		})
+	}
+}
+
+// A budget too small to cover the next whole run must fall back to the
+// per-instruction path and stop at exactly the same instruction the
+// legacy loop would.
+func TestFusedBudgetMatchesLegacy(t *testing.T) {
+	for _, s := range AllSpecs() {
+		t.Run(s.Name, func(t *testing.T) {
+			code, _, fz := fuseCountdown(t, s, 100)
+			for budget := 0; budget <= 12; budget++ {
+				mem1 := make([]byte, 4096)
+				mem2 := make([]byte, 4096)
+				cpu1 := CPU{FP: 256, TempBase: 512}
+				cpu2 := cpu1
+				tr1, cy1, n1, err1 := RunFused(s, fz, &cpu1, mem1, budget)
+				tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, budget)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("budget=%d: errors %v %v", budget, err1, err2)
+				}
+				if cy1 != cy2 || n1 != n2 || cpu1 != cpu2 {
+					t.Errorf("budget=%d: %d/%d/%+v vs %d/%d/%+v",
+						budget, cy1, n1, cpu1, cy2, n2, cpu2)
+				}
+				if (tr1 == nil) != (tr2 == nil) || (tr1 != nil && *tr1 != *tr2) {
+					t.Errorf("budget=%d: traps %+v vs %+v", budget, tr1, tr2)
+				}
+			}
+		})
+	}
+}
+
+// TestQuickFusedMatchesLegacy: random legal instruction streams, fused
+// against legacy. Streams include faulting memory modes, stack over- and
+// underflow, div-zero, branches to arbitrary targets — the fused
+// executor must reproduce every observable exactly, including fault
+// write-back of cached registers.
+func TestQuickFusedMatchesLegacy(t *testing.T) {
+	for _, s := range AllSpecs() {
+		s := s
+		rng := rand.New(rand.NewSource(0x5eed + int64(s.ID)))
+		for iter := 0; iter < 300; iter++ {
+			n := 2 + rng.Intn(10)
+			var code []byte
+			var err error
+			ok := true
+			for i := 0; i < n && ok; i++ {
+				code, err = Encode(s, code, genInstr(rng, s))
+				if err != nil {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			pd, err := Predecode(s, code)
+			if err != nil {
+				continue
+			}
+			fz := Fuse(s, pd, PlanFusion(pd, nil))
+			if fz == nil {
+				continue
+			}
+			mem1 := make([]byte, 1<<14)
+			mem2 := make([]byte, 1<<14)
+			var regs [16]uint32
+			for i := range regs {
+				regs[i] = rng.Uint32() % 1024
+			}
+			cpu1 := CPU{FP: 256, TempBase: 512, LitBase: 1024, Self: 2048,
+				TempDepth: int32(rng.Intn(4)), Regs: regs}
+			cpu2 := cpu1
+			tr1, cy1, n1, err1 := RunFused(s, fz, &cpu1, mem1, 64)
+			tr2, cy2, n2, err2 := RunLegacy(s, &cpu2, code, mem2, 64)
+			if (err1 == nil) != (err2 == nil) ||
+				(err1 != nil && err1.Error() != err2.Error()) {
+				t.Fatalf("%s iter %d: error mismatch: %v vs %v\ncode: %x", s.Name, iter, err1, err2, code)
+			}
+			if cy1 != cy2 || n1 != n2 {
+				t.Fatalf("%s iter %d: cycles/instrs %d/%d vs %d/%d\ncode: %x", s.Name, iter, cy1, n1, cy2, n2, code)
+			}
+			if (tr1 == nil) != (tr2 == nil) || (tr1 != nil && *tr1 != *tr2) {
+				t.Fatalf("%s iter %d: traps %+v vs %+v\ncode: %x", s.Name, iter, tr1, tr2, code)
+			}
+			if cpu1 != cpu2 {
+				t.Fatalf("%s iter %d: cpu\n%+v\n%+v\ncode: %x", s.Name, iter, cpu1, cpu2, code)
+			}
+			if !bytes.Equal(mem1, mem2) {
+				t.Fatalf("%s iter %d: memory images differ\ncode: %x", s.Name, iter, code)
+			}
+		}
+	}
+}

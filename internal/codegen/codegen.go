@@ -51,6 +51,13 @@ type FuncCode struct {
 	// kernel predecodes those at load (or falls back to byte-at-a-time
 	// dispatch if the stream does not decode).
 	Decoded *arch.Predecoded
+	// Runs is the superinstruction fusion plan over Decoded: maximal
+	// straight-line stretches bounded by branch targets, bus stops and
+	// trapping instructions. Metadata only (PC + length pairs) — the
+	// kernel compiles it into closures once per loaded function
+	// (arch.Fuse). Nil for hand-built FuncCode values; the kernel plans
+	// those at load.
+	Runs *arch.FusePlan
 }
 
 // ArchCode is one object's code for one architecture.
@@ -378,6 +385,7 @@ func compileFunc(spec *arch.Spec, obj *ir.Object, f *ir.Func, opts Options) (*Fu
 		Strings:   f.Strings,
 		NumInstrs: lo.n,
 		Decoded:   dec,
+		Runs:      arch.PlanFusion(dec, tbl.PCs()),
 	}, nil
 }
 

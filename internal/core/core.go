@@ -97,6 +97,14 @@ type Options struct {
 	// of predecoded dispatch (identical observable behavior; used by the
 	// differential tests).
 	LegacyDispatch bool
+	// NoFuse disables superinstruction fusion, keeping dispatch on the
+	// plain predecoded path (identical observable behavior; the triage
+	// escape hatch and the middle arm of the differential tests).
+	NoFuse bool
+	// SliceInstrs overrides the scheduling-slice instruction budget
+	// (0: the kernel default). The differential tests shrink it to force
+	// constant preemption, exercising mid-run suspend/resume.
+	SliceInstrs int
 	// Trace receives kernel event lines.
 	Trace func(string)
 	// Chaos, when non-nil, injects a seeded deterministic fault plan
@@ -211,6 +219,10 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	}
 	cfg.VetOnLoad = opts.VetOnLoad
 	cfg.LegacyDispatch = opts.LegacyDispatch
+	cfg.NoFuse = opts.NoFuse
+	if opts.SliceInstrs > 0 {
+		cfg.SliceInstrs = opts.SliceInstrs
+	}
 	cfg.Chaos = opts.Chaos
 	cfg.SharpenLiveSets = !opts.NoSharpen
 	cfg.DirReplicas = opts.DirReplicas

@@ -1,10 +1,13 @@
-// Differential validation of the predecoded dispatcher: every example
-// program, on every ISA (homogeneous clusters) plus the heterogeneous
-// Figure 1 network, must behave identically under the legacy
-// byte-at-a-time emulator (arch.Step) and the predecoded instruction
-// cache — same printed lines, same per-node cycle and instruction
-// counts, same faults, same final memory images, and a byte-identical
-// rendered event stream (which embeds every trap-driven kernel event).
+// Differential validation of the dispatch tiers: every example program,
+// on every ISA (homogeneous clusters) plus the heterogeneous Figure 1
+// network, must behave identically under the legacy byte-at-a-time
+// emulator (arch.Step), the predecoded instruction cache, and the fused
+// superinstruction dispatcher — same printed lines, same per-node cycle
+// and instruction counts, same faults, same final memory images, and a
+// byte-identical rendered event stream (which embeds every trap-driven
+// kernel event). A second matrix shrinks the scheduling slice so threads
+// are constantly suspended at arbitrary PCs — including PCs inside fused
+// runs — proving the mid-run per-instruction fallback is exact.
 package core
 
 import (
@@ -29,11 +32,22 @@ type dispatchRun struct {
 	eventLog []byte
 }
 
-func captureDispatch(t *testing.T, src string, machines []netsim.MachineModel, legacy bool) dispatchRun {
+// dispatchArms enumerates the three dispatch tiers. All arms of one
+// (program, network, slice) cell must be byte-identical.
+var dispatchArms = []struct {
+	name string
+	opts Options
+}{
+	{"fused", Options{}}, // the default path
+	{"predecode", Options{NoFuse: true}},
+	{"legacy", Options{LegacyDispatch: true}},
+}
+
+func captureDispatch(t *testing.T, src string, machines []netsim.MachineModel, opts Options) dispatchRun {
 	t.Helper()
-	sys, err := RunSource(src, machines, Options{LegacyDispatch: legacy})
+	sys, err := RunSource(src, machines, opts)
 	if err != nil {
-		t.Fatalf("run (legacy=%v): %v", legacy, err)
+		t.Fatalf("run (%+v): %v", opts, err)
 	}
 	r := dispatchRun{
 		lines:    sys.Lines(),
@@ -51,52 +65,51 @@ func captureDispatch(t *testing.T, src string, machines []netsim.MachineModel, l
 	return r
 }
 
-func diffDispatchRuns(t *testing.T, fast, legacy dispatchRun) {
+func diffDispatchRuns(t *testing.T, arm string, got, ref dispatchRun) {
 	t.Helper()
-	if len(fast.lines) != len(legacy.lines) {
-		t.Fatalf("printed lines: %d (predecoded) vs %d (legacy)\n%v\nvs\n%v",
-			len(fast.lines), len(legacy.lines), fast.lines, legacy.lines)
+	if len(got.lines) != len(ref.lines) {
+		t.Fatalf("printed lines: %d (%s) vs %d (reference)\n%v\nvs\n%v",
+			len(got.lines), arm, len(ref.lines), got.lines, ref.lines)
 	}
-	for i := range fast.lines {
-		if fast.lines[i] != legacy.lines[i] {
-			t.Errorf("line %d: %q (predecoded) vs %q (legacy)", i, fast.lines[i], legacy.lines[i])
+	for i := range got.lines {
+		if got.lines[i] != ref.lines[i] {
+			t.Errorf("line %d: %q (%s) vs %q (reference)", i, got.lines[i], arm, ref.lines[i])
 		}
 	}
-	if fast.elapsed != legacy.elapsed {
-		t.Errorf("elapsed: %v ms (predecoded) vs %v ms (legacy)", fast.elapsed, legacy.elapsed)
+	if got.elapsed != ref.elapsed {
+		t.Errorf("elapsed: %v ms (%s) vs %v ms (reference)", got.elapsed, arm, ref.elapsed)
 	}
-	if len(fast.faults) != len(legacy.faults) {
-		t.Fatalf("faults: %v (predecoded) vs %v (legacy)", fast.faults, legacy.faults)
+	if len(got.faults) != len(ref.faults) {
+		t.Fatalf("faults: %v (%s) vs %v (reference)", got.faults, arm, ref.faults)
 	}
-	for i := range fast.faults {
-		if fast.faults[i] != legacy.faults[i] {
-			t.Errorf("fault %d: %q vs %q", i, fast.faults[i], legacy.faults[i])
+	for i := range got.faults {
+		if got.faults[i] != ref.faults[i] {
+			t.Errorf("fault %d: %q vs %q", i, got.faults[i], ref.faults[i])
 		}
 	}
-	for i := range fast.cycles {
-		if fast.cycles[i] != legacy.cycles[i] {
-			t.Errorf("node %d cycles: %d (predecoded) vs %d (legacy)", i, fast.cycles[i], legacy.cycles[i])
+	for i := range got.cycles {
+		if got.cycles[i] != ref.cycles[i] {
+			t.Errorf("node %d cycles: %d (%s) vs %d (reference)", i, got.cycles[i], arm, ref.cycles[i])
 		}
-		if fast.instrs[i] != legacy.instrs[i] {
-			t.Errorf("node %d instrs: %d (predecoded) vs %d (legacy)", i, fast.instrs[i], legacy.instrs[i])
+		if got.instrs[i] != ref.instrs[i] {
+			t.Errorf("node %d instrs: %d (%s) vs %d (reference)", i, got.instrs[i], arm, ref.instrs[i])
 		}
-		if !bytes.Equal(fast.memSum[i], legacy.memSum[i]) {
-			t.Errorf("node %d final memory image differs", i)
+		if !bytes.Equal(got.memSum[i], ref.memSum[i]) {
+			t.Errorf("node %d final memory image differs (%s vs reference)", i, arm)
 		}
 	}
-	if !bytes.Equal(fast.eventLog, legacy.eventLog) {
-		t.Error("rendered event streams differ")
+	if !bytes.Equal(got.eventLog, ref.eventLog) {
+		t.Errorf("rendered event streams differ (%s vs reference)", arm)
 	}
 }
 
-func TestDispatchDifferential(t *testing.T) {
-	progs, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.em"))
-	if err != nil || len(progs) == 0 {
-		t.Fatalf("no example programs found: %v", err)
-	}
+func diffNets() []struct {
+	name     string
+	machines []netsim.MachineModel
+} {
 	// One homogeneous cluster per ISA, plus the heterogeneous Figure 1
-	// network so cross-ISA conversion paths run under both dispatchers.
-	nets := []struct {
+	// network so cross-ISA conversion paths run under every dispatcher.
+	return []struct {
 		name     string
 		machines []netsim.MachineModel
 	}{
@@ -105,21 +118,65 @@ func TestDispatchDifferential(t *testing.T) {
 		{"sparc", []netsim.MachineModel{netsim.SPARCstationSLC, netsim.SPARCstationSLC, netsim.SPARCstationSLC}},
 		{"figure1", Figure1Network()},
 	}
+}
+
+func examplePrograms(t *testing.T) []string {
+	t.Helper()
+	progs, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.em"))
+	if err != nil || len(progs) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	return progs
+}
+
+func TestDispatchDifferential(t *testing.T) {
+	for _, pf := range examplePrograms(t) {
+		srcBytes, err := os.ReadFile(pf)
+		if err != nil {
+			t.Fatalf("reading %s: %v", pf, err)
+		}
+		src := string(srcBytes)
+		for _, net := range diffNets() {
+			t.Run(filepath.Base(pf)+"/"+net.name, func(t *testing.T) {
+				ref := captureDispatch(t, src, net.machines, dispatchArms[0].opts)
+				for _, arm := range dispatchArms[1:] {
+					got := captureDispatch(t, src, net.machines, arm.opts)
+					diffDispatchRuns(t, arm.name, got, ref)
+				}
+				if len(ref.lines) == 0 {
+					t.Error("program printed nothing; differential comparison is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestDispatchDifferentialTinySlice reruns the matrix with a 13-instruction
+// scheduling slice on the Figure 1 network. Threads are then preempted at
+// essentially every program point — in particular at PCs *inside* fused
+// runs, and at run heads with too little budget left to cover the run —
+// so each resumed slice exercises the fused dispatcher's per-instruction
+// (and mid-encoding Step) fallback before reaching the next run head.
+// Arms are compared only within this slice size: a different slice
+// budget legitimately changes scheduling interleavings, so the tiny-
+// slice cell has its own reference arm.
+func TestDispatchDifferentialTinySlice(t *testing.T) {
+	progs := examplePrograms(t)
+	net := Figure1Network()
 	for _, pf := range progs {
 		srcBytes, err := os.ReadFile(pf)
 		if err != nil {
 			t.Fatalf("reading %s: %v", pf, err)
 		}
 		src := string(srcBytes)
-		for _, net := range nets {
-			t.Run(filepath.Base(pf)+"/"+net.name, func(t *testing.T) {
-				fast := captureDispatch(t, src, net.machines, false)
-				legacy := captureDispatch(t, src, net.machines, true)
-				diffDispatchRuns(t, fast, legacy)
-				if len(fast.lines) == 0 {
-					t.Error("program printed nothing; differential comparison is vacuous")
-				}
-			})
-		}
+		t.Run(filepath.Base(pf), func(t *testing.T) {
+			ref := captureDispatch(t, src, net, Options{SliceInstrs: 13})
+			for _, arm := range dispatchArms[1:] {
+				opts := arm.opts
+				opts.SliceInstrs = 13
+				got := captureDispatch(t, src, net, opts)
+				diffDispatchRuns(t, arm.name, got, ref)
+			}
+		})
 	}
 }

@@ -99,7 +99,7 @@ func TestParallelDifferential(t *testing.T) {
 				seq, seqSnap, seqSpans := captureEngine(t, src, net.machines, false)
 				par, parSnap, parSpans := captureEngine(t, src, net.machines, true)
 				checkGoroutines(t, before)
-				diffDispatchRuns(t, par, seq)
+				diffDispatchRuns(t, "parallel", par, seq)
 				if !bytes.Equal(parSnap, seqSnap) {
 					t.Errorf("metrics snapshots differ:\npar %s\nseq %s", parSnap, seqSnap)
 				}

@@ -76,7 +76,7 @@ func TestSharpenDifferential(t *testing.T) {
 			t.Run(filepath.Base(pf)+"/"+net.name, func(t *testing.T) {
 				sharp := captureSharpen(t, src, net.machines, false)
 				plain := captureSharpen(t, src, net.machines, true)
-				diffDispatchRuns(t, sharp.dispatchRun, plain.dispatchRun)
+				diffDispatchRuns(t, "sharpened", sharp.dispatchRun, plain.dispatchRun)
 				if sharp.payload != plain.payload {
 					t.Errorf("wire payload: %d bytes (sharpened) vs %d (unsharpened)",
 						sharp.payload, plain.payload)

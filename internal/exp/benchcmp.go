@@ -57,6 +57,14 @@ func cmpBenchValue(path string, fresh, base any, tol float64, drifts *[]string) 
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
+			if strings.HasPrefix(k, "host") {
+				// "host*" fields record host-dependent measurements
+				// (wall-clock MIPS, CPU counts) that no two machines — or
+				// two runs on one loaded machine — reproduce. They carry
+				// context, not claims, so drift gating skips them; the
+				// deterministic simulated fields beside them stay gated.
+				continue
+			}
 			fv, ok := f[k]
 			if !ok {
 				*drifts = append(*drifts, fmt.Sprintf("%s.%s: missing in fresh result", path, k))
@@ -65,7 +73,7 @@ func cmpBenchValue(path string, fresh, base any, tol float64, drifts *[]string) 
 			cmpBenchValue(path+"."+k, fv, b[k], tol, drifts)
 		}
 		for k := range f {
-			if _, ok := b[k]; !ok {
+			if _, ok := b[k]; !ok && !strings.HasPrefix(k, "host") {
 				*drifts = append(*drifts, fmt.Sprintf("%s.%s: not in baseline", path, k))
 			}
 		}

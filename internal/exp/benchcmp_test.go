@@ -55,6 +55,26 @@ func TestCompareBenchJSONStructure(t *testing.T) {
 	}
 }
 
+// "host*" fields carry host-dependent measurements (wall-clock MIPS,
+// CPU counts): any amount of drift, absence, or novelty is fine, while
+// the deterministic fields beside them stay gated.
+func TestCompareBenchJSONSkipsHostFields(t *testing.T) {
+	base := []byte(`{"instrs":1000,"host_mips_fused":12.5}`)
+	for _, fresh := range []string{
+		`{"instrs":1000,"host_mips_fused":99.9}`, // wild drift
+		`{"instrs":1000}`,                        // absent in fresh
+		`{"instrs":1000,"host_mips_fused":12.5,"host_cpus":64}`, // novel host field
+	} {
+		if err := CompareBenchJSON([]byte(fresh), base, 0.20); err != nil {
+			t.Errorf("host-prefixed field flagged: %v (fresh %s)", err, fresh)
+		}
+	}
+	// The gate still bites on the simulated field next door.
+	if err := CompareBenchJSON([]byte(`{"instrs":2000,"host_mips_fused":12.5}`), base, 0.20); err == nil {
+		t.Error("instrs drift not flagged despite host-field skip")
+	}
+}
+
 func TestCompareBenchJSONZeroBaseline(t *testing.T) {
 	base := []byte(`{"ms":0}`)
 	if err := CompareBenchJSON([]byte(`{"ms":0}`), base, 0.20); err != nil {

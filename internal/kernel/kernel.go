@@ -128,6 +128,13 @@ type Config struct {
 	// printed output — is identical either way; the differential tests
 	// flip this knob to prove it. The legacy path is ~7x slower.
 	LegacyDispatch bool
+	// NoFuse disables superinstruction fusion (arch.Fuse), keeping
+	// dispatch on the plain predecoded path. Observable behavior is
+	// identical — fusion only changes how fast the emulator moves
+	// between bus stops — so this exists purely as a triage escape
+	// hatch, mirroring LegacyDispatch. Implied by LegacyDispatch (no
+	// predecoded cache means nothing to fuse).
+	NoFuse bool
 	// Trace, when set, receives kernel event lines (for debugging). It is
 	// installed as a text sink over the structured event stream (see
 	// internal/obs): every emitted event renders as one legacy-style line.
@@ -433,6 +440,19 @@ func (c *Cluster) ConvStats() wire.Stats {
 		s.Calls += n.ProtoConvCalls
 	}
 	return s
+}
+
+// LoadedFuncs counts functions loaded across all nodes (each node that
+// loads a code object gets its own loadedFunc per function). Together
+// with arch.FuseBuildCount it pins the fuse-once discipline: fusion
+// happens at load, and migration re-install — which reuses the cached
+// loadedCode — must never fuse again.
+func (c *Cluster) LoadedFuncs() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += len(n.descs)
+	}
+	return total
 }
 
 // BlockedThreads lists fragments that are still blocked (for deadlock

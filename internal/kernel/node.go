@@ -36,6 +36,11 @@ type loadedFunc struct {
 	// forces the legacy byte-at-a-time path (Config.LegacyDispatch, or a
 	// hand-built stream that does not predecode).
 	pd *arch.Predecoded
+	// fz is the fused superinstruction program compiled from pd exactly
+	// once, here at load (Config.NoFuse disables it). Migration
+	// re-install reuses the loadedFunc via codeByOID, so a function is
+	// never re-fused no matter how many threads move through it.
+	fz *arch.Fused
 	// plans caches compiled conversion plans per (bus stop, peer ISA); see
 	// plan.go. Lazily filled on first MD→MI conversion at each stop.
 	plans map[planKey]*convPlan
@@ -76,6 +81,10 @@ type Node struct {
 
 	codeByOID map[oid.OID]*loadedCode
 	descs     []*loadedFunc
+	// fused is the node's reusable fused-dispatch executor: keeping it
+	// here (rather than per runSlice call) holds steady-state dispatch at
+	// zero allocations. Safe because a node runs one slice at a time.
+	fused arch.FusedRunner
 
 	// movedFrags forwards late messages for fragments that migrated away.
 	movedFrags map[uint32]int
@@ -365,6 +374,19 @@ func (n *Node) loadCode(code oid.OID) (*loadedCode, error) {
 				// bad instruction if execution ever reaches it.
 				lf.pd, _ = arch.Predecode(n.Spec, fc.Code)
 			}
+			if lf.pd != nil && !n.cluster.NoFuse {
+				plan := fc.Runs
+				if plan == nil {
+					// Hand-built FuncCode: plan here, bounding runs at
+					// this function's bus stops when it declares any.
+					var stopPCs []uint32
+					if fc.Stops != nil {
+						stopPCs = fc.Stops.PCs()
+					}
+					plan = arch.PlanFusion(lf.pd, stopPCs)
+				}
+				lf.fz = arch.Fuse(n.Spec, lf.pd, plan)
+			}
 		}
 		// Literal table: one word per string-pool entry, holding a
 		// reference to the interned string object.
@@ -524,7 +546,9 @@ func (n *Node) runSlice(f *Frag) {
 			instrs int
 			err    error
 		)
-		if pd := f.fn.pd; pd != nil {
+		if fz := f.fn.fz; fz != nil {
+			tr, cycles, instrs, err = n.fused.Run(n.Spec, fz, &f.CPU, n.Mem, n.cluster.SliceInstrs)
+		} else if pd := f.fn.pd; pd != nil {
 			tr, cycles, instrs, err = arch.RunPredecoded(n.Spec, pd, &f.CPU, n.Mem, n.cluster.SliceInstrs)
 		} else {
 			tr, cycles, instrs, err = arch.RunLegacy(n.Spec, &f.CPU, f.fn.fc.Code, n.Mem, n.cluster.SliceInstrs)
