@@ -59,14 +59,16 @@ auto-smoke:
 	cmp testdata/auto_lb.golden .ci/auto_lb.log
 
 # The kilroy tour with the replicated directory armed must print exactly
-# what the directory-off run prints — clean and under the chaos-smoke
-# fault plan — and the directory overhead study must match its committed
-# baseline.
+# what the directory-off run prints — clean, with read leases on, and
+# under the chaos-smoke fault plan — and the directory overhead study
+# must match its committed baseline.
 dir-smoke:
 	mkdir -p .ci
 	$(GO) run ./cmd/emrun examples/programs/kilroy.em > .ci/kilroy_dir_off.out
 	$(GO) run ./cmd/emrun -dir 3 examples/programs/kilroy.em > .ci/kilroy_dir_on.out
 	cmp .ci/kilroy_dir_off.out .ci/kilroy_dir_on.out
+	$(GO) run ./cmd/emrun -dir 3 -dir-lease 2000000 examples/programs/kilroy.em > .ci/kilroy_dir_lease.out
+	cmp .ci/kilroy_dir_off.out .ci/kilroy_dir_lease.out
 	$(GO) run ./cmd/emrun -dir 3 -chaos 'seed=7,drop=0.05,dup=0.03,delay=0.05:500us,corrupt=0.02,crash=2@76ms:156ms' \
 		examples/programs/kilroy.em > .ci/kilroy_dir_chaos.out
 	cmp .ci/kilroy_dir_off.out .ci/kilroy_dir_chaos.out

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/dir"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 	autoPeriod := flag.Int64("auto-period", 0, "placement tick period in simulated µs (0: kernel default)")
 	autoLog := flag.Bool("auto-log", false, "print the placement decision log after the run")
 	dirReplicas := flag.Int("dir", 0, "arm the replicated object directory with N replicas per shard (0: off)")
+	dirLease := flag.Int64("dir-lease", 0, "directory read-lease duration in simulated µs (0: lease-free lookups)")
+	dirNoGroup := flag.Bool("dir-nogroup", false, "disable batched group decrees (each cohort member decrees alone)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emrun [-net spec] [-mode m] [-chaos plan] [-parallel] [-auto policy] [-dir n] [-trace] [-stats] [-vetload] file.em")
@@ -56,9 +59,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emrun:", err)
 		os.Exit(2)
 	}
+	if *dirReplicas != 0 {
+		// Clamp out-of-range replica counts up front with a diagnostic
+		// rather than letting the kernel mis-shard silently; the clamped
+		// value is what actually arms the directory.
+		dcfg, diags := dir.Config{Replicas: *dirReplicas}.NormalizeDiag(len(machines))
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, "emrun: -dir:", d)
+		}
+		*dirReplicas = dcfg.Replicas
+	}
 	opts := core.Options{Mode: cm, VetOnLoad: *vetLoad, Parallel: *parallel, NoSharpen: *noSharpen,
 		NoFuse: *noFuse, LegacyDispatch: *legacy,
-		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod, DirReplicas: *dirReplicas}
+		AutoPolicy: *autoPolicy, AutoPeriodMicros: *autoPeriod, DirReplicas: *dirReplicas,
+		DirLeaseMicros: *dirLease, DirNoGroupDecrees: *dirNoGroup}
 	if *chaosSpec != "" {
 		plan, err := chaos.ParsePlan(*chaosSpec)
 		if err != nil {

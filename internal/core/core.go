@@ -143,6 +143,19 @@ type Options struct {
 	// DirCompactPeriodMicros overrides the directory compactor tick period
 	// (0: the kernel default).
 	DirCompactPeriodMicros int64
+	// DirLeaseMicros, when > 0 with the directory armed, makes shard
+	// replicas grant that many simulated microseconds of read lease on
+	// each lookup hit, letting repeat locates skip the shard query. 0 —
+	// the default — keeps lookups lease-free.
+	DirLeaseMicros int64
+	// DirNoGroupDecrees disables batched group decrees: every member of a
+	// migrated cohort commits its location record in its own single-slot
+	// decree round (the pre-batching wire pattern).
+	DirNoGroupDecrees bool
+	// LinkLatencies adds per-link extra latency (simulated microseconds)
+	// on top of the uniform network latency, giving the topology a
+	// locality structure the directory's replica placement can exploit.
+	LinkLatencies []kernel.LinkLatency
 }
 
 // System is a compiled program loaded on a simulated network.
@@ -227,6 +240,9 @@ func NewSystem(prog *codegen.Program, machines []netsim.MachineModel, opts Optio
 	cfg.SharpenLiveSets = !opts.NoSharpen
 	cfg.DirReplicas = opts.DirReplicas
 	cfg.DirCompactPeriodMicros = opts.DirCompactPeriodMicros
+	cfg.DirLeaseMicros = opts.DirLeaseMicros
+	cfg.DirNoGroupDecrees = opts.DirNoGroupDecrees
+	cfg.LinkLatencies = opts.LinkLatencies
 	if opts.AutoPolicy != "" {
 		if opts.Parallel {
 			return nil, fmt.Errorf("core: adaptive placement (-auto) requires the sequential engine")

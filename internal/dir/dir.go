@@ -21,6 +21,7 @@
 package dir
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/oid"
@@ -37,19 +38,36 @@ type Config struct {
 // Normalize clamps the configuration to a cluster of n nodes: at least one
 // replica, no more replicas than nodes, and one shard per node by default.
 func (c Config) Normalize(n int) Config {
+	c, _ = c.NormalizeDiag(n)
+	return c
+}
+
+// NormalizeDiag is Normalize plus a diagnostic line per clamp, so callers
+// holding a user-supplied configuration (emrun -dir n) can report what was
+// adjusted instead of silently mis-sharding.
+func (c Config) NormalizeDiag(n int) (Config, []string) {
+	var diags []string
+	if c.Shards < 0 {
+		diags = append(diags, fmt.Sprintf("dir: %d shards invalid; using %d (one per node)", c.Shards, n))
+	}
 	if c.Shards <= 0 {
 		c.Shards = n
 	}
 	if c.Shards > n {
+		diags = append(diags, fmt.Sprintf("dir: %d shards exceed the %d-node cluster; clamped to %d", c.Shards, n, n))
 		c.Shards = n
+	}
+	if c.Replicas < 0 {
+		diags = append(diags, fmt.Sprintf("dir: %d replicas invalid; using 1", c.Replicas))
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 1
 	}
 	if c.Replicas > n {
+		diags = append(diags, fmt.Sprintf("dir: %d replicas exceed the %d-node cluster; clamped to %d", c.Replicas, n, n))
 		c.Replicas = n
 	}
-	return c
+	return c, diags
 }
 
 // Quorum is the majority size of a replica set.
@@ -69,6 +87,51 @@ func ReplicaSet(shard, replicas, nodes int) []int {
 	set := make([]int, replicas)
 	for i := range set {
 		set[i] = (shard + i) % nodes
+	}
+	sort.Ints(set)
+	return set
+}
+
+// PlaceReplicas chooses a shard's (sorted) replica set with locality
+// awareness: the shard's anchor node is always a member, and the remaining
+// replicas-1 seats go to the peers with the lowest cost(anchor, peer) —
+// the kernel passes per-link extra latency from the netsim topology. Ties
+// break by ring distance from the anchor, so on a uniform topology (every
+// extra latency zero, or cost nil) the placement degenerates to exactly
+// ReplicaSet's consecutive run: topology-free clusters keep their historic
+// layout byte for byte.
+func PlaceReplicas(shard, replicas, nodes int, cost func(a, b int) int64) []int {
+	if replicas > nodes {
+		replicas = nodes
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	anchor := shard % nodes
+	type seat struct {
+		node int
+		cost int64
+		ring int // distance from the anchor walking the ring forward
+	}
+	cands := make([]seat, 0, nodes-1)
+	for i := 1; i < nodes; i++ {
+		p := (anchor + i) % nodes
+		var c int64
+		if cost != nil {
+			c = cost(anchor, p)
+		}
+		cands = append(cands, seat{node: p, cost: c, ring: i})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].ring < cands[j].ring
+	})
+	set := make([]int, 0, replicas)
+	set = append(set, anchor)
+	for _, s := range cands[:replicas-1] {
+		set = append(set, s.node)
 	}
 	sort.Ints(set)
 	return set
@@ -293,5 +356,155 @@ func (p *Proposal) OnAccepted(ballot uint64, ok bool, promised uint64) bool {
 		return false
 	}
 	p.phase = phaseDone
+	return true
+}
+
+// GroupProposal drives one multi-object decree round: a batched MoveGroup
+// cohort's location records, all sharing one shard replica set, commit
+// under a single ballot with one set of prepare/accept messages instead of
+// one round per member. Each slot still has exactly one proposer (the move
+// source that created it), so per-slot safety reduces to the single-decree
+// argument; the group exists purely to amortize the protocol messages. A
+// replica promises or accepts a group only when every member slot passes
+// its acceptor check, and the prepare reply carries per-slot accepted
+// values so a retry after a partial earlier round adopts them slot by slot.
+type GroupProposal struct {
+	Slots  []Slot
+	Values []int32 // desired home per slot, parallel to Slots
+	Quorum int
+
+	self     int32
+	Ballot   uint64
+	attempt  uint32
+	maxSeen  uint64
+	phase    int
+	promises int
+	accepts  int
+	accBals  []uint64 // highest accepted ballot seen per slot
+	accVals  []int32  // its value
+	progress uint64
+}
+
+// NewGroupProposal builds a group proposal over the given slots and homes,
+// sorted into canonical slot order (the order every replica and every
+// rerun observes).
+func NewGroupProposal(slots []Slot, values []int32, self int32, quorum int) *GroupProposal {
+	idx := make([]int, len(slots))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return slots[idx[i]].Less(slots[idx[j]]) })
+	ss := make([]Slot, len(slots))
+	vs := make([]int32, len(slots))
+	for i, k := range idx {
+		ss[i] = slots[k]
+		vs[i] = values[k]
+	}
+	g := &GroupProposal{Slots: ss, Values: vs, Quorum: quorum, self: self}
+	g.accBals = make([]uint64, len(ss))
+	g.accVals = make([]int32, len(ss))
+	for i := range g.accVals {
+		g.accVals[i] = -1
+	}
+	return g
+}
+
+// Start begins the next prepare round and returns its ballot (same ballot
+// scheme as Proposal.Start).
+func (g *GroupProposal) Start() uint64 {
+	for {
+		g.attempt++
+		b := uint64(g.attempt)<<16 | uint64(uint16(g.self+1))
+		if b > g.maxSeen {
+			g.Ballot = b
+			break
+		}
+		if g.maxSeen>>16 > uint64(g.attempt) {
+			g.attempt = uint32(g.maxSeen >> 16)
+		}
+	}
+	g.phase = phasePrepare
+	g.promises = 0
+	g.accepts = 0
+	for i := range g.accBals {
+		g.accBals[i] = 0
+		g.accVals[i] = -1
+	}
+	return g.Ballot
+}
+
+// Attempt reports how many prepare rounds have started.
+func (g *GroupProposal) Attempt() int { return int(g.attempt) }
+
+// Progress counts replies that advanced the current round (see
+// Proposal.Progress).
+func (g *GroupProposal) Progress() uint64 { return g.progress }
+
+// Done reports whether the group decree has been chosen.
+func (g *GroupProposal) Done() bool { return g.phase == phaseDone }
+
+// OnPromise processes one group promise (or nack). accBals/accVals are the
+// replica's per-slot accepted state, parallel to Slots; nil on a nack.
+// Returns true exactly once, at promise quorum.
+func (g *GroupProposal) OnPromise(ballot uint64, ok bool, accBals []uint64, accVals []int32, promised uint64) bool {
+	if !ok {
+		if promised > g.maxSeen {
+			g.maxSeen = promised
+		}
+		return false
+	}
+	if g.phase != phasePrepare || ballot != g.Ballot {
+		return false
+	}
+	if len(accBals) != len(g.Slots) || len(accVals) != len(g.Slots) {
+		return false // malformed reply; ignore
+	}
+	for i := range g.Slots {
+		if accBals[i] > g.accBals[i] {
+			g.accBals[i] = accBals[i]
+			g.accVals[i] = accVals[i]
+		}
+	}
+	g.progress++
+	g.promises++
+	if g.promises < g.Quorum {
+		return false
+	}
+	g.phase = phaseAccept
+	return true
+}
+
+// ChosenValues is the per-slot value vector for the accept phase: any
+// value a quorum member already accepted wins over our own, slot by slot.
+func (g *GroupProposal) ChosenValues() []int32 {
+	out := make([]int32, len(g.Slots))
+	for i := range g.Slots {
+		if g.accBals[i] > 0 && g.accVals[i] >= 0 {
+			out[i] = g.accVals[i]
+			continue
+		}
+		out[i] = g.Values[i]
+	}
+	return out
+}
+
+// OnAccepted processes one group accepted (or nack) reply. Returns true
+// exactly once, at accept quorum.
+func (g *GroupProposal) OnAccepted(ballot uint64, ok bool, promised uint64) bool {
+	if !ok {
+		if promised > g.maxSeen {
+			g.maxSeen = promised
+		}
+		return false
+	}
+	if g.phase != phaseAccept || ballot != g.Ballot {
+		return false
+	}
+	g.progress++
+	g.accepts++
+	if g.accepts < g.Quorum {
+		return false
+	}
+	g.phase = phaseDone
 	return true
 }

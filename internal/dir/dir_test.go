@@ -158,3 +158,153 @@ func TestShardOfStable(t *testing.T) {
 		t.Fatalf("shard %d out of range", s)
 	}
 }
+
+func TestNormalizeDiagEdges(t *testing.T) {
+	// Replicas above the cluster size clamp with a diagnostic.
+	c, diags := Config{Replicas: 9}.NormalizeDiag(4)
+	if c.Replicas != 4 || len(diags) != 1 {
+		t.Fatalf("over-cluster: cfg=%+v diags=%v", c, diags)
+	}
+	// Negative replicas are invalid and fall back to 1, with a diagnostic.
+	c, diags = Config{Replicas: -3}.NormalizeDiag(4)
+	if c.Replicas != 1 || len(diags) != 1 {
+		t.Fatalf("negative: cfg=%+v diags=%v", c, diags)
+	}
+	// Zero is the documented "default" request: no diagnostic.
+	c, diags = Config{Replicas: 0, Shards: 0}.NormalizeDiag(4)
+	if c.Replicas != 1 || c.Shards != 4 || len(diags) != 0 {
+		t.Fatalf("defaults: cfg=%+v diags=%v", c, diags)
+	}
+	// Shard edges mirror the replica edges.
+	c, diags = Config{Replicas: 2, Shards: 9}.NormalizeDiag(4)
+	if c.Shards != 4 || len(diags) != 1 {
+		t.Fatalf("over-cluster shards: cfg=%+v diags=%v", c, diags)
+	}
+	c, diags = Config{Replicas: 2, Shards: -1}.NormalizeDiag(4)
+	if c.Shards != 4 || len(diags) != 1 {
+		t.Fatalf("negative shards: cfg=%+v diags=%v", c, diags)
+	}
+}
+
+func TestPlaceReplicasUniformMatchesReplicaSet(t *testing.T) {
+	// With no cost function (uniform topology) the locality-aware placement
+	// must reproduce the historic consecutive sets exactly, for every shard
+	// and replica count.
+	for nodes := 1; nodes <= 6; nodes++ {
+		for replicas := 1; replicas <= nodes; replicas++ {
+			for shard := 0; shard < nodes; shard++ {
+				got := PlaceReplicas(shard, replicas, nodes, nil)
+				want := ReplicaSet(shard, replicas, nodes)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d r=%d s=%d: %v vs %v", nodes, replicas, shard, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d r=%d s=%d: %v vs %v", nodes, replicas, shard, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceReplicasPrefersLowLatencyPeers(t *testing.T) {
+	// 5 nodes; node 0's link to node 1 is slow, its link to node 3 fast.
+	// The shard anchored at 0 should seat node 3 ahead of nodes 1 and 2.
+	slow := map[[2]int]int64{{0, 1}: 500, {0, 2}: 200, {0, 4}: 900}
+	cost := func(a, b int) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return slow[[2]int{a, b}]
+	}
+	got := PlaceReplicas(0, 3, 5, cost)
+	want := []int{0, 2, 3} // anchor 0, then node 3 (cost 0) and node 2 (cost 200)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placement %v, want %v", got, want)
+		}
+	}
+	// The anchor is always a member even when its links are all expensive.
+	got = PlaceReplicas(4, 2, 5, cost)
+	found := false
+	for _, n := range got {
+		if n == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("anchor 4 missing from %v", got)
+	}
+}
+
+func TestGroupProposalSortsAndChooses(t *testing.T) {
+	// Slots arrive unsorted; the proposal canonicalizes them with their
+	// values kept parallel.
+	slots := []Slot{{OID: 9, Epoch: 1}, {OID: 3, Epoch: 2}, {OID: 3, Epoch: 1}}
+	vals := []int32{2, 3, 1}
+	g := NewGroupProposal(slots, vals, 0, 2)
+	wantSlots := []Slot{{OID: 3, Epoch: 1}, {OID: 3, Epoch: 2}, {OID: 9, Epoch: 1}}
+	wantVals := []int32{1, 3, 2}
+	for i := range wantSlots {
+		if g.Slots[i] != wantSlots[i] || g.Values[i] != wantVals[i] {
+			t.Fatalf("canonical order %v %v", g.Slots, g.Values)
+		}
+	}
+	b := g.Start()
+	none := []uint64{0, 0, 0}
+	noneV := []int32{-1, -1, -1}
+	if g.OnPromise(b, true, none, noneV, 0) {
+		t.Fatalf("quorum after one promise")
+	}
+	if !g.OnPromise(b, true, none, noneV, 0) {
+		t.Fatalf("no quorum after two promises")
+	}
+	cv := g.ChosenValues()
+	for i := range wantVals {
+		if cv[i] != wantVals[i] {
+			t.Fatalf("chose %v, want own values %v", cv, wantVals)
+		}
+	}
+	if g.OnAccepted(b, true, 0) {
+		t.Fatalf("chosen after one accept")
+	}
+	if !g.OnAccepted(b, true, 0) || !g.Done() {
+		t.Fatalf("not chosen after quorum accepts")
+	}
+}
+
+func TestGroupProposalAdoptsPerSlot(t *testing.T) {
+	g := NewGroupProposal([]Slot{{OID: 1, Epoch: 1}, {OID: 2, Epoch: 1}}, []int32{3, 3}, 0, 2)
+	b := g.Start()
+	// One replica already accepted value 1 for the second slot at ballot 7.
+	g.OnPromise(b, true, []uint64{0, 7}, []int32{-1, 1}, 0)
+	g.OnPromise(b, true, []uint64{0, 0}, []int32{-1, -1}, 0)
+	cv := g.ChosenValues()
+	if cv[0] != 3 || cv[1] != 1 {
+		t.Fatalf("chose %v, want [3 1]", cv)
+	}
+}
+
+func TestGroupProposalNackAndRestart(t *testing.T) {
+	g := NewGroupProposal([]Slot{{OID: 1, Epoch: 1}, {OID: 2, Epoch: 1}}, []int32{3, 3}, 0, 2)
+	b := g.Start()
+	if g.OnPromise(b, false, nil, nil, 50<<16) {
+		t.Fatalf("nack advanced phase")
+	}
+	b2 := g.Start()
+	if b2 <= 50<<16 {
+		t.Fatalf("restart ballot %d did not jump past nack", b2)
+	}
+	// Stale and malformed replies are ignored.
+	if g.OnPromise(b, true, []uint64{0, 0}, []int32{-1, -1}, 0) {
+		t.Fatalf("stale-round promise counted")
+	}
+	if g.OnPromise(b2, true, []uint64{0}, []int32{-1}, 0) {
+		t.Fatalf("short reply counted")
+	}
+	g.OnPromise(b2, true, []uint64{0, 0}, []int32{-1, -1}, 0)
+	if !g.OnPromise(b2, true, []uint64{0, 0}, []int32{-1, -1}, 0) {
+		t.Fatalf("no quorum after two fresh promises")
+	}
+}

@@ -1,12 +1,14 @@
 // The directory overhead study (embench dir): one fixed migration-heavy
-// tour run under four configurations — directory off and on (3 replicas),
-// each clean and under a seeded fault plan that crashes and restarts a
-// pure replica host mid-run (a minority of every shard's replica set, so
-// decrees keep completing). The table backs the two claims DESIGN.md §15
-// makes: the replicated directory's decree traffic is a modest constant
-// overhead per move, and under the crash plan it keeps objects locatable
-// in one shard query where the chase-only kernel leans on forwarding
-// chains.
+// tour run under directory off/on (3 replicas), clean and under a seeded
+// fault plan that crashes and restarts a pure replica host mid-run (a
+// minority of every shard's replica set, so decrees keep completing), plus
+// a lease arm (read-cached lookups on the same tour) and a batched
+// group-decree pair on the zipf workgen workload (grouped vs one decree
+// per cohort member). The table backs the claims DESIGN.md §15 makes: the
+// replicated directory's decree traffic is a modest constant overhead per
+// move, under the crash plan it keeps objects locatable in one shard
+// query, leases collapse repeat lookups of stable objects, and batching a
+// cohort's decrees cuts the decree wire bytes per migrated object.
 
 package exp
 
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/auto/workgen"
 	"repro/internal/chaos"
 	"repro/internal/core"
 )
@@ -27,16 +30,30 @@ type DirResult struct {
 	RemoteInvokes uint64  // cross-node invocations
 	ProxyForwards uint64  // messages forwarded along a proxy chain
 	ChaseHops     uint64  // locate chase hops walked (satellite TTL metric)
-	Decrees       uint64  // directory decrees chosen
+	Decrees       uint64  // directory decrees chosen (slots, incl. group members)
 	Lookups       uint64  // directory shard queries issued
 	Degraded      uint64  // decrees/lookups that fell back to the chase
 	Compactions   uint64  // proxies rewritten by the background compactor
+	LeaseHits     uint64  // lookups served from a cached read lease
+	LeaseExpired  uint64  // leases discarded at use time past their deadline
+	GroupDecrees  uint64  // batched group rounds run
+	GroupSlots    uint64  // member slots committed by those rounds
+	DecreeBytes   uint64  // wire bytes of all decree protocol messages
+}
+
+// dirDecreeKinds are the wire kinds whose msg_bytes add up to DecreeBytes —
+// the single-slot round plus the batched group round.
+var dirDecreeKinds = []string{
+	"dirprepare", "dirpromise", "diraccept", "diraccepted", "dirlearn",
+	"dirgprepare", "dirgpromise", "dirgaccept", "dirgaccepted", "dirglearn",
 }
 
 // dirWorkload is the study's fixed tour: three couriers bouncing between
-// nodes 0-2 with an invocation after every move. Node 3 hosts no objects
-// or threads — it exists purely as a shard replica, so crashing it stresses
-// the directory's availability without perturbing the program.
+// nodes 0-2 with an invocation after every move, then fifteen repeat
+// locates of the couriers parked on remote nodes — the stable-object tail
+// the lease arm collapses. Node 3 hosts no objects or threads — it exists
+// purely as a shard replica, so crashing it stresses the directory's
+// availability without perturbing the program.
 const dirWorkload = `
 object Courier
   var hops: Int <- 0
@@ -69,9 +86,16 @@ object Main
       print(c.bump())
       lap <- lap + 1
     end
-    print(locate(a))
-    print(locate(b))
-    print(locate(c))
+    move a to node(1)
+    move b to node(2)
+    move c to node(1)
+    var rep: Int <- 0
+    while rep < 5 do
+      print(locate(a))
+      print(locate(b))
+      print(locate(c))
+      rep <- rep + 1
+    end
   end process
 end Main
 `
@@ -86,14 +110,16 @@ func dirPlan() *chaos.Plan {
 }
 
 // dirArm runs one configuration of the study.
-func dirArm(label string, replicas int, plan *chaos.Plan) (DirResult, error) {
-	sys, err := core.RunSource(dirWorkload, core.Figure1Network(), core.Options{
-		DirReplicas: replicas, Chaos: plan,
-	})
+func dirArm(label, src string, opts core.Options) (DirResult, error) {
+	sys, err := core.RunSource(src, core.Figure1Network(), opts)
 	if err != nil {
 		return DirResult{}, fmt.Errorf("%s: %w", label, err)
 	}
 	r := DirResult{Config: label, SimMS: sys.ElapsedMS()}
+	decreeKind := map[string]bool{}
+	for _, k := range dirDecreeKinds {
+		decreeKind["msg="+k] = true
+	}
 	for _, c := range sys.MetricsSnapshot().Counters {
 		switch c.Name {
 		case "remote_invokes":
@@ -110,6 +136,18 @@ func dirArm(label string, replicas int, plan *chaos.Plan) (DirResult, error) {
 			r.Degraded += c.Value
 		case "dir_compactions":
 			r.Compactions += c.Value
+		case "dir_lease_hits":
+			r.LeaseHits += c.Value
+		case "dir_lease_expired":
+			r.LeaseExpired += c.Value
+		case "dir_group_decrees":
+			r.GroupDecrees += c.Value
+		case "dir_group_slots":
+			r.GroupSlots += c.Value
+		case "msg_bytes":
+			if decreeKind[c.Labels] {
+				r.DecreeBytes += c.Value
+			}
 		}
 	}
 	net := sys.Cluster.Net
@@ -118,23 +156,32 @@ func dirArm(label string, replicas int, plan *chaos.Plan) (DirResult, error) {
 	return r, nil
 }
 
-// DirStudy runs all four arms on the fixed tour and returns the rows plus
-// the workload description line.
+// DirStudy runs every arm and returns the rows plus the workload
+// description line. The first five arms share the fixed courier tour; the
+// last two run the zipf workgen workload under greedy-colocate, where
+// cohort moves give the batched group decree something to batch.
 func DirStudy() ([]DirResult, string, error) {
-	desc := "3 couriers x 3 laps over nodes 0-2, bump after every move; node 3 is a pure shard replica (crashed 400-520ms in the fault arms)"
+	desc := "3 couriers x 3 laps over nodes 0-2, bump after every move, then 15 repeat locates; node 3 is a pure shard replica (crashed 400-520ms in the fault arms); group arms run the auto study's workgen workload under greedy-colocate"
+	groupSrc := workgen.Generate(autoWorkload)
 	arms := []struct {
-		label    string
-		replicas int
-		plan     *chaos.Plan
+		label string
+		src   string
+		opts  core.Options
 	}{
-		{"off/clean", 0, nil},
-		{"dir3/clean", 3, nil},
-		{"off/crash", 0, dirPlan()},
-		{"dir3/crash", 3, dirPlan()},
+		{"off/clean", dirWorkload, core.Options{}},
+		{"dir3/clean", dirWorkload, core.Options{DirReplicas: 3}},
+		{"dir3/lease", dirWorkload, core.Options{DirReplicas: 3, DirLeaseMicros: 2_000_000}},
+		{"off/crash", dirWorkload, core.Options{Chaos: dirPlan()}},
+		{"dir3/crash", dirWorkload, core.Options{DirReplicas: 3, Chaos: dirPlan()}},
+		// Full replication: every shard shares one replica set, so every
+		// cohort is eligible to batch (with r < n, cohort members whose
+		// shards replicate on different node sets must decree alone).
+		{"dir4/group", groupSrc, core.Options{DirReplicas: 4, AutoPolicy: "greedy-colocate"}},
+		{"dir4/nogroup", groupSrc, core.Options{DirReplicas: 4, AutoPolicy: "greedy-colocate", DirNoGroupDecrees: true}},
 	}
 	var out []DirResult
 	for _, a := range arms {
-		r, err := dirArm(a.label, a.replicas, a.plan)
+		r, err := dirArm(a.label, a.src, a.opts)
 		if err != nil {
 			return nil, "", err
 		}
@@ -148,15 +195,18 @@ func FormatDir(rows []DirResult, desc string) string {
 	var b strings.Builder
 	b.WriteString("Replicated directory overhead on a migration-heavy tour\n")
 	b.WriteString(desc + "\n")
-	fmt.Fprintf(&b, "%-12s %9s %7s %9s %7s %6s %6s %8s %7s %5s\n",
-		"config", "sim time", "frames", "bytes", "remote", "fwd", "chase", "decrees", "lookups", "degr")
+	fmt.Fprintf(&b, "%-12s %9s %7s %9s %7s %6s %6s %8s %7s %5s %5s %5s %7s\n",
+		"config", "sim time", "frames", "bytes", "remote", "fwd", "chase", "decrees", "lookups", "degr", "lease", "gdecr", "decrB")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %7.1fms %7d %9d %7d %6d %6d %8d %7d %5d\n",
+		fmt.Fprintf(&b, "%-12s %7.1fms %7d %9d %7d %6d %6d %8d %7d %5d %5d %5d %7d\n",
 			r.Config, r.SimMS, r.Frames, r.WireBytes, r.RemoteInvokes,
-			r.ProxyForwards, r.ChaseHops, r.Decrees, r.Lookups, r.Degraded)
+			r.ProxyForwards, r.ChaseHops, r.Decrees, r.Lookups, r.Degraded,
+			r.LeaseHits, r.GroupDecrees, r.DecreeBytes)
 	}
 	b.WriteString("fwd = proxy-chain forwards; chase = locate hops walked;\n")
-	b.WriteString("decrees/lookups/degr = directory consensus, shard queries, fallbacks.\n")
+	b.WriteString("decrees/lookups/degr = directory consensus, shard queries, fallbacks;\n")
+	b.WriteString("lease = lookups served from a cached read lease; gdecr = batched\n")
+	b.WriteString("group rounds; decrB = wire bytes of all decree protocol messages.\n")
 	return b.String()
 }
 
@@ -173,6 +223,11 @@ type BenchDirRow struct {
 	Lookups       uint64  `json:"lookups"`
 	Degraded      uint64  `json:"degraded"`
 	Compactions   uint64  `json:"compactions"`
+	LeaseHits     uint64  `json:"lease_hits"`
+	LeaseExpired  uint64  `json:"lease_expired"`
+	GroupDecrees  uint64  `json:"group_decrees"`
+	GroupSlots    uint64  `json:"group_slots"`
+	DecreeBytes   uint64  `json:"decree_bytes"`
 }
 
 // BenchDir is the BENCH_dir.json document.
@@ -196,7 +251,9 @@ func BenchDirDoc(rows []DirResult, desc string) BenchDir {
 			WireBytes: r.WireBytes, RemoteInvokes: r.RemoteInvokes,
 			ProxyForwards: r.ProxyForwards, ChaseHops: r.ChaseHops,
 			Decrees: r.Decrees, Lookups: r.Lookups, Degraded: r.Degraded,
-			Compactions: r.Compactions,
+			Compactions: r.Compactions, LeaseHits: r.LeaseHits,
+			LeaseExpired: r.LeaseExpired, GroupDecrees: r.GroupDecrees,
+			GroupSlots: r.GroupSlots, DecreeBytes: r.DecreeBytes,
 		})
 	}
 	return doc

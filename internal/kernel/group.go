@@ -111,19 +111,41 @@ func (n *Node) moveGroup(objs []*Obj, dest int, fix bool) {
 	m.Add("group_move_objs", lbl, uint64(len(items)))
 	m.Add("group_move_frame_bytes", lbl, uint64(frameBytes))
 	m.Add("group_move_member_bytes", lbl, uint64(memberBytes))
+	batching := n.cluster.dirOn && !n.cluster.Config.DirNoGroupDecrees
+	var cohort []groupItem
 	for _, it := range items {
 		it.tx.do(it.commit)
 		if n.cluster.dirOn && !it.tx.live {
+			if batching {
+				// Chaos-off the whole cohort's decrees batch into group
+				// rounds, fired after the loop so members sharing a shard
+				// replica set ride one prepare/accept exchange.
+				cohort = append(cohort, it)
+				continue
+			}
 			// Same chaos-off fire-and-forget decree as dispatchMove.
 			n.dirPropose(it.msg.Object, it.msg.Epoch, int32(dest), nil)
 		}
 	}
+	if len(cohort) > 0 {
+		n.dirCohortPropose(cohort, dest)
+	}
 	// Under chaos every member transaction pins to the batch's single frame
 	// (lastFrame after the one send above): per-member MoveAcks resolve the
 	// transactions independently, and an abort's filler swap is idempotent
-	// across members sharing the frame.
+	// across members sharing the frame. With group decrees on, the live
+	// members also share one dirGroupBatch: their decrees wait for the last
+	// member's MoveAck and then batch per replica set.
+	var batch *dirGroupBatch
+	if batching {
+		batch = &dirGroupBatch{}
+	}
 	for _, it := range items {
 		if it.tx.live {
+			if batch != nil {
+				it.tx.dirBatch = batch
+				batch.outstanding++
+			}
 			n.beginTransit(it.tx, it.sp.ID)
 		}
 	}

@@ -278,6 +278,16 @@ func (n *Node) handleMsg(src int, p wire.Payload) {
 		n.recvDirAccepted(src, p)
 	case *wire.DirLearn:
 		n.recvDirLearn(src, p)
+	case *wire.DirGPrepare:
+		n.recvDirGPrepare(src, p)
+	case *wire.DirGPromise:
+		n.recvDirGPromise(src, p)
+	case *wire.DirGAccept:
+		n.recvDirGAccept(src, p)
+	case *wire.DirGAccepted:
+		n.recvDirGAccepted(src, p)
+	case *wire.DirGLearn:
+		n.recvDirGLearn(src, p)
 	case *wire.DirLookup:
 		n.recvDirLookup(src, p)
 	case *wire.DirLookupReply:
@@ -449,6 +459,9 @@ func (n *Node) recvLocate(src int, p *wire.Locate) {
 		n.sendMsg(o.LastKnown, p)
 	default:
 		if ok {
+			// The chase walked p.Hops forwards before exhausting its
+			// budget; account them so hop totals cover failed chases too.
+			n.cluster.Rec.Metrics().Add("locate_chase_hops", lbl, uint64(p.Hops))
 			n.cluster.Rec.Metrics().Add("locate_chase_exhausted", lbl, 1)
 		}
 		n.sendMsg(int(p.Origin), &wire.Return{

@@ -190,6 +190,33 @@ type Config struct {
 	// DirCompactPeriodMicros is the per-node compactor tick period (0
 	// selects DefaultDirCompactMicros).
 	DirCompactPeriodMicros int64
+	// DirLeaseMicros, when > 0 with the directory armed, makes shard
+	// replicas grant that many simulated microseconds of read lease on
+	// every positive lookup reply: the asker caches the record and repeat
+	// locates/invokes of a stable object skip the shard query entirely.
+	// Leases are epoch-fenced and invalidated early by learned decrees and
+	// by peer suspicion. 0 (the default) keeps lookup behavior identical
+	// to the lease-free directory.
+	DirLeaseMicros int64
+	// DirNoGroupDecrees disables batched group decrees: each member of a
+	// MoveGroup cohort then drives its own single-object decree round, as
+	// before. Escape hatch and the control arm of the batching experiment
+	// (embench dir).
+	DirNoGroupDecrees bool
+	// LinkLatencies adds per-link extra propagation latency to the netsim
+	// topology (on top of the network's shared LatencyMicros; see
+	// netsim.SetLinkExtraLatency). The directory's replica placement reads
+	// this topology to prefer low-latency peers; an empty list keeps every
+	// link uniform and the run byte-identical to a topology-free build.
+	LinkLatencies []LinkLatency
+}
+
+// LinkLatency is one latency-skewed link of the cluster topology: extra
+// microseconds of propagation latency between nodes A and B, both
+// directions, on top of the shared per-frame latency.
+type LinkLatency struct {
+	A, B        int
+	ExtraMicros int64
 }
 
 // DefaultConfig returns the standard configuration.
@@ -251,9 +278,13 @@ type Cluster struct {
 	autoPinned map[string]bool
 
 	// Replicated-directory state (see dir.go); dirOn gates every directory
-	// code path so directory-off runs stay byte-identical.
-	dirOn  bool
-	dirCfg dir.Config
+	// code path so directory-off runs stay byte-identical. dirPlace is the
+	// per-shard replica set, computed once at arming time from the netsim
+	// topology (locality-aware placement; uniform topologies reproduce the
+	// historic consecutive sets).
+	dirOn    bool
+	dirCfg   dir.Config
+	dirPlace [][]int
 }
 
 // NewCluster builds a cluster of the given machine models. In ModeOriginal
@@ -282,6 +313,13 @@ func NewCluster(prog *codegen.Program, models []netsim.MachineModel, cfg Config)
 	}
 	c.Net = netsim.NewNetwork(c.Sim)
 	c.Net.Observer = c.Rec
+	for _, l := range cfg.LinkLatencies {
+		if l.A < 0 || l.A >= len(models) || l.B < 0 || l.B >= len(models) {
+			return nil, fmt.Errorf("kernel: link latency names node pair (%d,%d); cluster has %d nodes",
+				l.A, l.B, len(models))
+		}
+		c.Net.SetLinkExtraLatency(l.A, l.B, netsim.Micros(l.ExtraMicros))
+	}
 	for i, m := range models {
 		n := newNode(c, i, m)
 		c.Nodes = append(c.Nodes, n)

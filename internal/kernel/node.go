@@ -140,6 +140,13 @@ type Node struct {
 	dirProps map[dir.Slot]*dirProposal
 	dirLooks map[uint32]*dirLookup
 	dirTok   uint32
+	// dirGProps are batched group decrees this node is driving as a
+	// MoveGroup source, keyed by a node-local group token; dirLeases are
+	// read leases granted by shard replicas (Config.DirLeaseMicros > 0),
+	// letting repeat lookups of a stable object skip the shard query.
+	dirGProps map[uint32]*dirGroupProposal
+	dirGTok   uint32
+	dirLeases map[oid.OID]dirLease
 
 	callConv  *wire.CallConverter
 	batchConv *wire.BatchedConverter
@@ -216,10 +223,12 @@ func newNode(c *Cluster, id int, m netsim.MachineModel) *Node {
 		pendingCommits: map[uint32]*moveTxn{},
 		abortedSpans:   map[uint32]bool{},
 
-		dirAcc:   map[dir.Slot]*dir.Acceptor{},
-		dirStore: dir.NewStore(),
-		dirProps: map[dir.Slot]*dirProposal{},
-		dirLooks: map[uint32]*dirLookup{},
+		dirAcc:    map[dir.Slot]*dir.Acceptor{},
+		dirStore:  dir.NewStore(),
+		dirProps:  map[dir.Slot]*dirProposal{},
+		dirLooks:  map[uint32]*dirLookup{},
+		dirGProps: map[uint32]*dirGroupProposal{},
+		dirLeases: map[oid.OID]dirLease{},
 	}
 	n.sched = c.Sim.NodeSched(id)
 	return n

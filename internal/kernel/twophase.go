@@ -49,6 +49,14 @@ type moveTxn struct {
 	moveFrame *pendingFrame
 	// stalledTimer: the commit timer fired while the source was down.
 	stalledTimer bool
+	// dirBatch groups this transaction with the rest of its MoveGroup
+	// cohort so the directory commits the whole cohort in batched group
+	// decrees (nil for solo moves or when group decrees are disabled).
+	dirBatch *dirGroupBatch
+	// dirPending: the transaction has been handed to the directory; a
+	// duplicate positive MoveAck (the destination re-acks replayed Moves)
+	// must not open a second decree for the same slot.
+	dirPending bool
 }
 
 func (n *Node) newMoveTxn(o *Obj, dest int, fix bool) *moveTxn {
@@ -158,6 +166,14 @@ func (n *Node) recvMoveAck(src int, p *wire.MoveAck) {
 			// replicated directory before releasing the object, so a
 			// post-crash locate is one shard query. Degraded decrees
 			// still commit — the forwarding chase covers staleness.
+			if tx.dirPending {
+				return // duplicate ack; a decree is already in flight
+			}
+			tx.dirPending = true
+			if tx.dirBatch != nil {
+				n.dirBatchAcked(tx)
+				return
+			}
 			n.dirProposeMove(tx)
 			return
 		}
@@ -188,6 +204,7 @@ func (n *Node) commitMove(tx *moveTxn) {
 // object simply stays resident. Suspended fragments resume, parked
 // operations replay locally, and the move requeues for a later retry.
 func (n *Node) abortMove(tx *moveTxn, reason string) {
+	n.dirBatchDrop(tx)
 	delete(n.pendingCommits, tx.span)
 	n.abortedSpans[tx.span] = true
 	if pf := tx.moveFrame; pf != nil && !pf.acked {

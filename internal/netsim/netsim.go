@@ -274,6 +274,15 @@ type Network struct {
 	// OverheadBytes is framing overhead added to every payload.
 	OverheadBytes int
 
+	// extraLat holds per-link additional propagation latency (symmetric,
+	// keyed by the node pair), on top of the shared LatencyMicros — the
+	// topology knob for latency-skewed clusters (a far segment, a slow
+	// bridge). Extras only ever ADD latency, so LatencyMicros remains a
+	// valid lower bound and the parallel engine's lookahead stays
+	// conservative. Nil (the default) keeps every link at the shared
+	// latency and the simulation byte-identical to a topology-free build.
+	extraLat map[uint64]Micros
+
 	mediumFree Micros
 	handlers   map[int]Handler
 	// down[i] marks node i crashed. Indexed, not a map, so that during a
@@ -461,6 +470,39 @@ func (n *Network) frameSize(payloadLen int) (size int, xmit Micros) {
 	return size, xmit
 }
 
+// linkKey normalizes a node pair to one map key (links are symmetric).
+func linkKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// SetLinkExtraLatency adds extra per-frame propagation latency on the link
+// between a and b (both directions), on top of the shared LatencyMicros.
+// Negative extras are ignored: per-link latency may only exceed the shared
+// floor, never undercut it (the parallel engine's lookahead depends on it).
+// Call before the simulation starts; the directory's replica placement
+// reads the topology once at cluster construction.
+func (n *Network) SetLinkExtraLatency(a, b int, extra Micros) {
+	if extra <= 0 || a == b {
+		return
+	}
+	if n.extraLat == nil {
+		n.extraLat = map[uint64]Micros{}
+	}
+	n.extraLat[linkKey(a, b)] = extra
+}
+
+// LinkExtraLatency reports the extra latency configured for the a-b link
+// (zero for the uniform default).
+func (n *Network) LinkExtraLatency(a, b int) Micros {
+	if n.extraLat == nil || a == b {
+		return 0
+	}
+	return n.extraLat[linkKey(a, b)]
+}
+
 // arbitrate claims the shared medium for one frame: transmission begins no
 // earlier than the send instant, the sender's CPU being free, and the
 // medium freeing up. It returns the delivery instant. Both engines call
@@ -502,7 +544,7 @@ func (n *Network) Send(src, dst int, payload []byte, earliest Micros) error {
 	if n.Inject != nil {
 		v = n.Inject.Frame(n.sim.Now(), src, dst, len(payload))
 	}
-	deliverAt := n.arbitrate(n.sim.Now(), earliest, xmit, size, len(payload))
+	deliverAt := n.arbitrate(n.sim.Now(), earliest, xmit, size, len(payload)) + n.LinkExtraLatency(src, dst)
 	if v.Drop {
 		atomic.AddUint64(&n.Lost, 1)
 	} else {

@@ -195,7 +195,8 @@ func (p *parRun) flushSends() {
 	})
 	n := p.net
 	for _, req := range all {
-		deliverAt := n.arbitrate(req.sendAt, req.earliest, req.xmit, req.size, req.payloadLen)
+		deliverAt := n.arbitrate(req.sendAt, req.earliest, req.xmit, req.size, req.payloadLen) +
+			n.LinkExtraLatency(req.src, req.dst)
 		if req.v.Drop {
 			atomic.AddUint64(&n.Lost, 1)
 		} else {

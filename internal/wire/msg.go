@@ -236,6 +236,13 @@ const (
 	MDirLearn                      // proposer → replica: decree chosen, learn record
 	MDirLookup                     // client → replica: where does OID live?
 	MDirLookupReply                // replica → client: record (or miss)
+	// Batched group decrees: a MoveGroup cohort's location records commit
+	// under one ballot with one set of prepare/accept messages.
+	MDirGPrepare                   // proposer → replica: prepare(slots, ballot)
+	MDirGPromise                   // replica → proposer: group promise or nack
+	MDirGAccept                    // proposer → replica: accept(slots, ballot, homes)
+	MDirGAccepted                  // replica → proposer: group accepted or nack
+	MDirGLearn                     // proposer → replica: group decree chosen
 )
 
 func (k MsgKind) String() string {
@@ -274,6 +281,16 @@ func (k MsgKind) String() string {
 		return "dirlookup"
 	case MDirLookupReply:
 		return "dirlookupreply"
+	case MDirGPrepare:
+		return "dirgprepare"
+	case MDirGPromise:
+		return "dirgpromise"
+	case MDirGAccept:
+		return "dirgaccept"
+	case MDirGAccepted:
+		return "dirgaccepted"
+	case MDirGLearn:
+		return "dirglearn"
 	}
 	return fmt.Sprintf("msg(%d)", byte(k))
 }
@@ -392,6 +409,26 @@ func Unmarshal(buf []byte) (*Msg, error) {
 		m.Payload = p
 	case MDirLookupReply:
 		p := &DirLookupReply{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirGPrepare:
+		p := &DirGPrepare{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirGPromise:
+		p := &DirGPromise{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirGAccept:
+		p := &DirGAccept{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirGAccepted:
+		p := &DirGAccepted{}
+		p.unmarshal(&d)
+		m.Payload = p
+	case MDirGLearn:
+		p := &DirGLearn{}
 		p.unmarshal(&d)
 		m.Payload = p
 	default:
@@ -1080,12 +1117,17 @@ func (p *DirLookup) unmarshal(d *Dec) {
 
 // DirLookupReply answers a DirLookup. !Ok means the replica has no record
 // (the object never moved, or its decrees have not reached this replica).
+// Lease, when nonzero on a hit, grants the asker the right to reuse this
+// record without re-querying for that many simulated microseconds (counted
+// from receipt); the asker still invalidates early on learned decrees and
+// peer suspicion (see kernel dir.go).
 type DirLookupReply struct {
 	Target oid.OID
 	Token  uint32
 	Ok     bool
 	Node   int32
 	Epoch  uint32
+	Lease  uint32
 }
 
 // Kind implements Payload.
@@ -1101,6 +1143,7 @@ func (p *DirLookupReply) marshal(e *Enc) {
 	}
 	e.I32(p.Node)
 	e.U32(p.Epoch)
+	e.U32(p.Lease)
 }
 
 func (p *DirLookupReply) unmarshal(d *Dec) {
@@ -1109,6 +1152,217 @@ func (p *DirLookupReply) unmarshal(d *Dec) {
 	p.Ok = d.U8() != 0
 	p.Node = d.I32()
 	p.Epoch = d.U32()
+	p.Lease = d.U32()
+}
+
+// DirSlotRef names one (oid, epoch) decree slot inside a group message.
+type DirSlotRef struct {
+	Target oid.OID
+	Epoch  uint32
+}
+
+// minSlotRefBytes is the encoded size of one DirSlotRef (for Count).
+const minSlotRefBytes = 8
+
+func marshalSlotRefs(e *Enc, ss []DirSlotRef) {
+	e.U16(uint16(len(ss)))
+	for _, s := range ss {
+		e.OID(s.Target)
+		e.U32(s.Epoch)
+	}
+}
+
+func unmarshalSlotRefs(d *Dec) []DirSlotRef {
+	n := d.Count(minSlotRefBytes)
+	if n == 0 {
+		return nil
+	}
+	out := make([]DirSlotRef, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, DirSlotRef{Target: d.OID(), Epoch: d.U32()})
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// DirGPrepare opens a batched group decree round: the proposer (the source
+// of a MoveGroup cohort) asks a replica shared by every member slot to
+// promise one ballot for all of them. Token correlates the replies with
+// the proposer's pending group.
+type DirGPrepare struct {
+	Token  uint32
+	Ballot uint64
+	Slots  []DirSlotRef
+}
+
+// Kind implements Payload.
+func (p *DirGPrepare) Kind() MsgKind { return MDirGPrepare }
+
+func (p *DirGPrepare) marshal(e *Enc) {
+	e.U32(p.Token)
+	e.U64(p.Ballot)
+	marshalSlotRefs(e, p.Slots)
+}
+
+func (p *DirGPrepare) unmarshal(d *Dec) {
+	p.Token = d.U32()
+	p.Ballot = d.U64()
+	p.Slots = unmarshalSlotRefs(d)
+}
+
+// DirGPromise answers a DirGPrepare. Ok means every member slot promised;
+// AccBallots/AccNodes then carry the replica's per-slot accepted state,
+// parallel to the prepare's slot list. !Ok is a nack carrying the highest
+// ballot that blocked any member.
+type DirGPromise struct {
+	Token      uint32
+	Ballot     uint64
+	Ok         bool
+	Promised   uint64
+	AccBallots []uint64
+	AccNodes   []int32
+}
+
+// Kind implements Payload.
+func (p *DirGPromise) Kind() MsgKind { return MDirGPromise }
+
+func (p *DirGPromise) marshal(e *Enc) {
+	e.U32(p.Token)
+	e.U64(p.Ballot)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.U64(p.Promised)
+	e.U16(uint16(len(p.AccBallots)))
+	for _, b := range p.AccBallots {
+		e.U64(b)
+	}
+	e.U16(uint16(len(p.AccNodes)))
+	for _, n := range p.AccNodes {
+		e.I32(n)
+	}
+}
+
+func (p *DirGPromise) unmarshal(d *Dec) {
+	p.Token = d.U32()
+	p.Ballot = d.U64()
+	p.Ok = d.U8() != 0
+	p.Promised = d.U64()
+	nb := d.Count(8)
+	for i := 0; i < nb; i++ {
+		p.AccBallots = append(p.AccBallots, d.U64())
+		if d.Err() != nil {
+			return
+		}
+	}
+	nn := d.Count(4)
+	for i := 0; i < nn; i++ {
+		p.AccNodes = append(p.AccNodes, d.I32())
+		if d.Err() != nil {
+			return
+		}
+	}
+}
+
+// DirGAccept asks a replica to accept the whole group's values (one home
+// node per member slot) at the prepared ballot. The slot list rides along
+// so the replica side stays stateless between phases, like the
+// single-decree protocol.
+type DirGAccept struct {
+	Token  uint32
+	Ballot uint64
+	Slots  []DirSlotRef
+	Nodes  []int32
+}
+
+// Kind implements Payload.
+func (p *DirGAccept) Kind() MsgKind { return MDirGAccept }
+
+func (p *DirGAccept) marshal(e *Enc) {
+	e.U32(p.Token)
+	e.U64(p.Ballot)
+	marshalSlotRefs(e, p.Slots)
+	e.U16(uint16(len(p.Nodes)))
+	for _, n := range p.Nodes {
+		e.I32(n)
+	}
+}
+
+func (p *DirGAccept) unmarshal(d *Dec) {
+	p.Token = d.U32()
+	p.Ballot = d.U64()
+	p.Slots = unmarshalSlotRefs(d)
+	nn := d.Count(4)
+	for i := 0; i < nn; i++ {
+		p.Nodes = append(p.Nodes, d.I32())
+		if d.Err() != nil {
+			return
+		}
+	}
+}
+
+// DirGAccepted answers a DirGAccept: every member slot accepted, or a nack
+// with the blocking ballot.
+type DirGAccepted struct {
+	Token    uint32
+	Ballot   uint64
+	Ok       bool
+	Promised uint64
+}
+
+// Kind implements Payload.
+func (p *DirGAccepted) Kind() MsgKind { return MDirGAccepted }
+
+func (p *DirGAccepted) marshal(e *Enc) {
+	e.U32(p.Token)
+	e.U64(p.Ballot)
+	if p.Ok {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.U64(p.Promised)
+}
+
+func (p *DirGAccepted) unmarshal(d *Dec) {
+	p.Token = d.U32()
+	p.Ballot = d.U64()
+	p.Ok = d.U8() != 0
+	p.Promised = d.U64()
+}
+
+// DirGLearn announces a chosen group decree: member slot i's object lives
+// at Nodes[i] as of its slot epoch. Like DirLearn, learns are idempotent
+// and applied per member.
+type DirGLearn struct {
+	Slots []DirSlotRef
+	Nodes []int32
+}
+
+// Kind implements Payload.
+func (p *DirGLearn) Kind() MsgKind { return MDirGLearn }
+
+func (p *DirGLearn) marshal(e *Enc) {
+	marshalSlotRefs(e, p.Slots)
+	e.U16(uint16(len(p.Nodes)))
+	for _, n := range p.Nodes {
+		e.I32(n)
+	}
+}
+
+func (p *DirGLearn) unmarshal(d *Dec) {
+	p.Slots = unmarshalSlotRefs(d)
+	nn := d.Count(4)
+	for i := 0; i < nn; i++ {
+		p.Nodes = append(p.Nodes, d.I32())
+		if d.Err() != nil {
+			return
+		}
+	}
 }
 
 // PayloadSize returns the encoded size of p alone (without the Msg

@@ -350,3 +350,38 @@ func TestWireSize(t *testing.T) {
 		t.Error("string size")
 	}
 }
+
+func TestDirGroupMessageRoundtrips(t *testing.T) {
+	slots := []DirSlotRef{{Target: 9, Epoch: 3}, {Target: 12, Epoch: 1}}
+	for _, p := range []Payload{
+		&DirGPrepare{Token: 7, Ballot: 0x1_0002_0003, Slots: slots},
+		&DirGPromise{Token: 7, Ballot: 0x1_0002_0003, Ok: true,
+			Promised: 0x1_0002_0003, AccBallots: []uint64{0, 0x10001}, AccNodes: []int32{-1, 2}},
+		&DirGPromise{Token: 7, Ballot: 0x10001, Ok: false, Promised: 0x20001},
+		&DirGAccept{Token: 7, Ballot: 0x1_0002_0003, Slots: slots, Nodes: []int32{2, 0}},
+		&DirGAccepted{Token: 7, Ballot: 0x1_0002_0003, Ok: true, Promised: 0x1_0002_0003},
+		&DirGAccepted{Token: 8, Ballot: 0x10001, Ok: false, Promised: 0x30001},
+		&DirGLearn{Slots: slots, Nodes: []int32{2, 0}},
+		&DirGPrepare{Token: 9, Ballot: 0x10001}, // empty slot list survives
+	} {
+		m := &Msg{Src: 1, Dst: 0, Seq: 1, Payload: p}
+		got := roundtripMsg(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T roundtrip mismatch:\n%+v\n%+v", p, m.Payload, got.Payload)
+		}
+	}
+}
+
+func TestDirLookupReplyLeaseRoundtrip(t *testing.T) {
+	m := &Msg{Src: 1, Dst: 0, Seq: 1, Payload: &DirLookupReply{
+		Target: 9, Token: 41, Ok: true, Node: 2, Epoch: 3, Lease: 150_000}}
+	p := roundtripMsg(t, m).Payload.(*DirLookupReply)
+	if p.Lease != 150_000 || !p.Ok || p.Node != 2 {
+		t.Fatalf("lease reply = %+v", p)
+	}
+	// Lease-free replies stay lease-free.
+	m2 := &Msg{Src: 1, Dst: 0, Seq: 2, Payload: &DirLookupReply{Target: 9, Token: 42, Node: -1}}
+	if p2 := roundtripMsg(t, m2).Payload.(*DirLookupReply); p2.Lease != 0 {
+		t.Fatalf("ghost lease %d", p2.Lease)
+	}
+}
